@@ -1,0 +1,12 @@
+"""Bench: the ablation experiments beyond the paper."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, config):
+    text = run_once(benchmark, lambda: ablations.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

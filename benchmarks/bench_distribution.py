@@ -1,0 +1,12 @@
+"""Bench: the Section 5.5 distributed-system forecast (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import distribution
+
+
+def test_distribution(benchmark, config):
+    text = run_once(benchmark, lambda: distribution.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 5 of the paper."""
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark, config):
+    text = run_once(benchmark, lambda: figure5.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 6 of the paper."""
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, config):
+    text = run_once(benchmark, lambda: figure6.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

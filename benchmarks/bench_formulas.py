@@ -1,0 +1,39 @@
+"""Micro-benchmarks of the analytical cost model."""
+
+from repro.benchmark.config import DEFAULT_CONFIG
+from repro.core import formulas
+from repro.core.estimators import QUERIES, AnalyticalEvaluator
+from repro.core.parameters import WorkloadParameters, derive_parameters, paper_parameters
+
+
+def test_cardenas_formula(benchmark):
+    benchmark(lambda: [formulas.pages_small_random(t, 559) for t in range(1, 500)])
+
+
+def test_yao_formula(benchmark):
+    benchmark(lambda: [formulas.pages_small_random_yao(t, 6144, 559) for t in range(1, 200)])
+
+
+def test_distinct_selected(benchmark):
+    benchmark(lambda: [formulas.distinct_selected(1500, d) for d in range(0, 5000, 10)])
+
+
+def test_derive_parameters(benchmark):
+    benchmark(lambda: derive_parameters(DEFAULT_CONFIG))
+
+
+def test_full_table3(benchmark):
+    """Computing the entire analytical Table 3 (both primed variants)."""
+    params = paper_parameters()
+    workload = WorkloadParameters(1500, 4.096, 300)
+
+    def build():
+        ev = AnalyticalEvaluator(params, workload)
+        return [
+            ev.estimate(model, query, primed)
+            for model in ("DSM", "DASDBS-DSM", "NSM", "NSM+index", "DASDBS-NSM")
+            for primed in (False, True)
+            for query in QUERIES
+        ]
+
+    benchmark(build)

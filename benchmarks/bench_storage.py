@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the storage engine primitives.
+
+These are conventional pytest-benchmark measurements (many rounds):
+they characterise the simulator itself — how fast the substrate
+executes, independent of the paper's I/O counts.
+"""
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.generator import generate_stations
+from repro.nf2.serializer import DASDBS_FORMAT, NF2Serializer
+from repro.benchmark.schema import STATION_SCHEMA
+from repro.storage import StorageEngine
+from repro.storage.longobj import LongObjectStore
+
+
+def test_heap_insert(benchmark):
+    record = b"x" * 170
+
+    def setup():
+        return (StorageEngine(buffer_pages=600).new_heap("r"),), {}
+
+    def insert(heap):
+        for _ in range(500):
+            heap.insert(record)
+
+    benchmark.pedantic(insert, setup=setup, rounds=20)
+
+
+def test_heap_scan(benchmark):
+    heap = StorageEngine(buffer_pages=600).new_heap("r")
+    for i in range(2000):
+        heap.insert(bytes([i % 250]) * 170)
+
+    benchmark(lambda: sum(1 for _ in heap.scan()))
+
+
+def test_buffer_hit(benchmark):
+    engine = StorageEngine(buffer_pages=64)
+    pid = engine.disk.allocate()
+    engine.buffer.fix(pid)
+    engine.buffer.unfix(pid)
+
+    def hit():
+        for _ in range(1000):
+            engine.buffer.fix(pid)
+            engine.buffer.unfix(pid)
+
+    benchmark(hit)
+
+
+def test_buffer_miss_with_eviction(benchmark):
+    engine = StorageEngine(buffer_pages=16)
+    pids = engine.disk.allocate_many(64)
+
+    def churn():
+        for pid in pids:
+            engine.buffer.fix(pid)
+            engine.buffer.unfix(pid)
+
+    benchmark(churn)
+
+
+def test_longobject_partial_read(benchmark):
+    engine = StorageEngine(buffer_pages=64)
+    store = LongObjectStore(engine.new_segment("o"), DASDBS_FORMAT)
+    addr = store.store([b"R" * 150, b"P" * 900, b"S" * 3300], n_subtuples=13)
+
+    def read():
+        engine.restart_buffer()
+        store.read(addr, [0, 1])
+
+    benchmark(read)
+
+
+def test_station_encode_decode(benchmark):
+    stations = generate_stations(BenchmarkConfig(n_objects=50, seed=1))
+    ser = NF2Serializer()
+    blobs = [ser.encode_nested(s) for s in stations]
+
+    def roundtrip():
+        for blob in blobs:
+            ser.decode_nested(STATION_SCHEMA, blob)
+
+    benchmark(roundtrip)

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 2 (tuple sizes and k/p/m parameters)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, config):
+    text = run_once(benchmark, lambda: table2.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 3 of the paper."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, config):
+    text = run_once(benchmark, lambda: table3.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

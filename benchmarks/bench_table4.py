@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 4 of the paper."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, config):
+    text = run_once(benchmark, lambda: table4.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

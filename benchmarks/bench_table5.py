@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 5 of the paper."""
+
+from conftest import run_once
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, config):
+    text = run_once(benchmark, lambda: table5.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

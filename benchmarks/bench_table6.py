@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 6 of the paper."""
+
+from conftest import run_once
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark, config):
+    text = run_once(benchmark, lambda: table6.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 7 of the paper."""
+
+from conftest import run_once
+
+from repro.experiments import table7
+
+
+def test_table7(benchmark, config):
+    text = run_once(benchmark, lambda: table7.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

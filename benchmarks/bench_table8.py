@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 8 of the paper."""
+
+from conftest import run_once
+
+from repro.experiments import table8
+
+
+def test_table8(benchmark, config):
+    text = run_once(benchmark, lambda: table8.render(config))
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

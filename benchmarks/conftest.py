@@ -1,0 +1,40 @@
+"""Shared configuration of the benchmark harness.
+
+Every table/figure bench regenerates its experiment and prints the rows
+the paper reports.  The database scale is selectable:
+
+* default — a reduced scale (300 objects, proportionally sized buffer)
+  that preserves every qualitative effect and finishes in minutes;
+* ``REPRO_BENCH_SCALE=paper`` — the paper's full 1500-object extension
+  with the 1200-page buffer (slower; used for EXPERIMENTS.md).
+
+Heavy experiment benches run exactly once (``pedantic`` with one round):
+they are end-to-end measurements, not microbenchmarks; their interesting
+output is the reproduced table, attached to ``benchmark.extra_info`` and
+printed to stdout (run pytest with ``-s`` to see it).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchmark.config import DEFAULT_CONFIG
+from repro.experiments.measure import FAST_CONFIG
+
+
+def bench_config():
+    if os.environ.get("REPRO_BENCH_SCALE", "fast") == "paper":
+        return DEFAULT_CONFIG
+    return FAST_CONFIG
+
+
+@pytest.fixture(scope="session")
+def config():
+    return bench_config()
+
+
+def run_once(benchmark, fn):
+    """Run an end-to-end experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

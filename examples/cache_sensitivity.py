@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Cache sensitivity: reproduce the Figure 6 experiment interactively.
+
+Sweeps the buffer size for a fixed database and plots (in ASCII) the
+query-2b page I/Os per loop for the three focus models, bracketed by
+the analytical best and worst cases.  The paper varies the database
+against a fixed 1200-page buffer; varying the buffer against a fixed
+database shows the same crossover from cached plateau to thrashing.
+
+Run:  python examples/cache_sensitivity.py
+"""
+
+from repro import (
+    AnalyticalEvaluator,
+    BenchmarkConfig,
+    BenchmarkRunner,
+    WorkloadParameters,
+    derive_parameters,
+)
+
+BUFFERS = (60, 120, 240, 480, 960)
+MODELS = ("DSM", "DASDBS-DSM", "DASDBS-NSM")
+
+base = BenchmarkConfig(n_objects=240, seed=4, q2a_sample=5)
+evaluator = AnalyticalEvaluator(
+    derive_parameters(base), WorkloadParameters.from_config(base)
+)
+
+results: dict[str, list[float]] = {m: [] for m in MODELS}
+for buffer_pages in BUFFERS:
+    config = base.with_changes(buffer_pages=buffer_pages)
+    runner = BenchmarkRunner(config)
+    for model in MODELS:
+        run = runner.run_model(model, queries=("2b",))
+        results[model].append(run.metric("2b", "io_pages"))
+
+print(f"query 2b page I/Os per loop, {base.n_objects}-object database\n")
+header = f"{'buffer':>8s}" + "".join(f"{m:>13s}" for m in MODELS)
+print(header)
+print("-" * len(header))
+for i, buffer_pages in enumerate(BUFFERS):
+    row = f"{buffer_pages:>8d}" + "".join(f"{results[m][i]:>13.2f}" for m in MODELS)
+    print(row)
+
+print("\nanalytical brackets (best case with large cache / worst case without):")
+for model in MODELS:
+    best = evaluator.estimate(model, "2b")
+    worst = evaluator.estimate(model, "2b", worst=True)
+    print(f"  {model:12s} best {best:7.2f}   worst {worst:7.2f}")
+
+print("\nASCII view (each * = 2 pages/loop, B marks the best case):")
+for model in MODELS:
+    best = evaluator.estimate(model, "2b")
+    print(f"\n  {model}")
+    for buffer_pages, value in zip(BUFFERS, results[model]):
+        bar = "*" * max(1, round(value / 2))
+        marker = " " * max(0, round(best / 2) - 1) + "B"
+        print(f"  {buffer_pages:>6d} |{bar}")
+    print(f"         {marker} <- best case")

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: store complex objects, count the disk I/Os.
+
+Builds a small railway database, loads it into two storage models, runs
+one retrieval and one navigation query on each, and compares the
+measured page I/Os with the paper's analytical prediction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalyticalEvaluator,
+    BenchmarkConfig,
+    BenchmarkRunner,
+    WorkloadParameters,
+    derive_parameters,
+)
+
+# A 300-object extension with a buffer that cannot hold the whole
+# direct-model database — the regime the paper studies.
+config = BenchmarkConfig(n_objects=300, buffer_pages=240, seed=1)
+runner = BenchmarkRunner(config)
+
+stats = runner.statistics()
+print(
+    f"Generated {stats.n_objects} Station objects: "
+    f"{stats.avg_platforms:.2f} platforms, {stats.avg_connections:.2f} connections, "
+    f"{stats.avg_sightseeings:.2f} sightseeings on average\n"
+)
+
+evaluator = AnalyticalEvaluator(
+    derive_parameters(config), WorkloadParameters.from_config(config)
+)
+
+print(f"{'model':12s} {'query':>6s} {'measured pages':>15s} {'predicted':>10s}")
+for model_name in ("DSM", "DASDBS-NSM"):
+    run = runner.run_model(model_name, queries=("1a", "2b"))
+    for query in ("1a", "2b"):
+        measured = run.metric(query, "io_pages")
+        predicted = evaluator.estimate(model_name, query)
+        print(f"{model_name:12s} {query:>6s} {measured:>15.2f} {predicted:>10.2f}")
+
+print(
+    "\nQuery 1a retrieves whole objects by identifier; query 2b is the "
+    "navigation loop\n(root -> children -> grand-children), normalised per loop."
+)
+print(
+    "DSM ships every page of an object; DASDBS-NSM reads one small tuple "
+    "per relation --\nthe paper's headline result, visible in the counts above."
+)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Railway navigation: the paper's motivating workload, end to end.
+
+A travel-planner asks: starting from a station, which stations are
+reachable within two train changes, and what is there to see near the
+destinations?  That is exactly benchmark query 2 (navigation) plus a
+full-object fetch — this example runs it as an application would,
+against the storage model of your choice, and shows what the choice
+costs in physical I/O.
+
+Run:  python examples/railway_navigation.py [DSM|DASDBS-DSM|NSM+index|DASDBS-NSM]
+"""
+
+import sys
+
+from repro import BenchmarkConfig, StorageEngine, create_model, generate_stations
+from repro.benchmark.schema import oid_of_key
+
+MODEL = sys.argv[1] if len(sys.argv) > 1 else "DASDBS-NSM"
+
+config = BenchmarkConfig(n_objects=200, buffer_pages=160, seed=8)
+stations = generate_stations(config)
+
+engine = StorageEngine(buffer_pages=config.buffer_pages)
+model = create_model(MODEL, engine)
+model.load(stations)
+engine.reset_metrics()
+
+start_oid = 17
+start_ref = model.ref_of(start_oid)
+
+# Hop 1: which stations does the start connect to?
+direct = model._dedupe(model.fetch_refs([start_ref]))
+# Hop 2: and where can we change trains to?
+two_hops = model._dedupe(model.fetch_refs(direct)) if direct else []
+# Read the destination descriptions (root records).
+destinations = model.fetch_roots(two_hops) if two_hops else []
+
+metrics = engine.metrics.snapshot()
+start_name = stations[start_oid]["Name"]
+print(f"storage model : {MODEL}")
+print(f"start station : {start_name}")
+print(f"direct trains : {len(direct)} stations")
+print(f"two changes   : {len(two_hops)} stations")
+for atoms in destinations[:5]:
+    print(f"   -> {atoms['Name']} ({atoms['NoSeeing']} sights nearby)")
+if len(destinations) > 5:
+    print(f"   ... and {len(destinations) - 5} more")
+
+print("\nphysical cost of the trip planning:")
+print(f"   page reads : {metrics.pages_read}")
+print(f"   I/O calls  : {metrics.io_calls}")
+print(f"   buffer fixes: {metrics.page_fixes}")
+
+# Finally inspect one destination in full (sightseeing details included).
+if two_hops:
+    engine.reset_metrics()
+    ref = two_hops[0]
+    oid = ref if model.supports_oid_access and MODEL != "NSM+index" else oid_of_key(ref)
+    station = model.fetch_full_by_key(stations[oid]["Key"])
+    full_cost = engine.metrics.snapshot()
+    print(
+        f"\nfetching {station['Name']} in full (value lookup, "
+        f"{len(station.subtuples('Sightseeing'))} sights): "
+        f"{full_cost.pages_read} page reads"
+    )

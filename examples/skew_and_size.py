@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Object size and data skew: Figures 5 and Table 7 as an application study.
+
+Two questions a schema designer would ask of the paper:
+
+1. My objects carry large rarely-used parts (here: Sightseeing).  How
+   does each storage model cope as that payload grows?  (Figure 5)
+2. My data is skewed — a few huge objects, many empty ones.  Does the
+   choice still hold?  (Table 7, probability 0.2 / fanout 8)
+
+Run:  python examples/skew_and_size.py
+"""
+
+from repro import BenchmarkConfig, BenchmarkRunner
+from repro.benchmark.stats import DatabaseStatistics
+
+MODELS = ("DSM", "DASDBS-DSM", "DASDBS-NSM")
+BASE = BenchmarkConfig(n_objects=240, buffer_pages=200, seed=6, q2a_sample=5)
+
+print("== Question 1: growing cold payload (max sightseeings 0 / 15 / 30) ==\n")
+print(f"{'maxSight':>9s}" + "".join(f"{m:>13s}" for m in MODELS) + "   (query 2b pages/loop)")
+for level in (0, 15, 30):
+    config = BASE.with_changes(max_sightseeing=level)
+    runner = BenchmarkRunner(config)
+    row = [runner.run_model(m, queries=("2b",)).metric("2b", "io_pages") for m in MODELS]
+    print(f"{level:>9d}" + "".join(f"{v:>13.2f}" for v in row))
+
+print(
+    "\nDASDBS-NSM is flat: its navigation never touches the Sightseeing\n"
+    "relation.  DSM pays for every byte of every visited object."
+)
+
+print("\n== Question 2: data skew (probability 0.2, fanout 8) ==\n")
+for label, config in (
+    ("uniform", BASE),
+    ("skewed ", BASE.with_changes(probability=0.2, fanout=8)),
+):
+    runner = BenchmarkRunner(config)
+    stats = DatabaseStatistics.from_stations(runner.stations)
+    row = [runner.run_model(m, queries=("2b",)).metric("2b", "io_pages") for m in MODELS]
+    cells = "".join(f"{v:>13.2f}" for v in row)
+    print(
+        f"{label}: avg conns {stats.avg_connections:5.2f} "
+        f"(max {stats.max_connections:3d}) |{cells}"
+    )
+
+print(
+    "\nThe means are engineered to match ((fanout*p)^3 = 4.096 either way),\n"
+    "so the per-loop averages barely move — the paper's Table 7 finding.\n"
+    "The maxima explode, which matters for distribution, not for I/O counts."
+)

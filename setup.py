@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical build configuration lives in pyproject.toml; this file
+exists so that legacy tooling (and offline environments without the
+`wheel` package, where pip's PEP 660 editable path fails) can still do
+``pip install -e .`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

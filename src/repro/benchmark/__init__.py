@@ -1,0 +1,46 @@
+"""The revised Altair complex-object benchmark (paper Section 2).
+
+* :mod:`repro.benchmark.schema` — the Station object type (Figure 1),
+* :mod:`repro.benchmark.config` — database and engine knobs,
+* :mod:`repro.benchmark.generator` — randomised extension generation,
+* :mod:`repro.benchmark.stats` — extension statistics,
+* :mod:`repro.benchmark.queries` — queries 1a–3b,
+* :mod:`repro.benchmark.runner` — per-model measurement orchestration.
+"""
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG, SKEWED_CONFIG
+from repro.benchmark.generator import child_oids, generate_stations, total_connections
+from repro.benchmark.queries import QUERY_NAMES, QueryResult, QuerySuite
+from repro.benchmark.runner import BenchmarkRunner, ModelRun
+from repro.benchmark.schema import (
+    CONNECTION_SCHEMA,
+    KEY_BASE,
+    PLATFORM_SCHEMA,
+    SIGHTSEEING_SCHEMA,
+    STATION_SCHEMA,
+    key_of_oid,
+    oid_of_key,
+)
+from repro.benchmark.stats import DatabaseStatistics
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkRunner",
+    "CONNECTION_SCHEMA",
+    "DEFAULT_CONFIG",
+    "DatabaseStatistics",
+    "KEY_BASE",
+    "ModelRun",
+    "PLATFORM_SCHEMA",
+    "QUERY_NAMES",
+    "QueryResult",
+    "QuerySuite",
+    "SIGHTSEEING_SCHEMA",
+    "SKEWED_CONFIG",
+    "STATION_SCHEMA",
+    "child_oids",
+    "generate_stations",
+    "key_of_oid",
+    "oid_of_key",
+    "total_connections",
+]

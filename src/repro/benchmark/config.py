@@ -1,0 +1,112 @@
+"""Benchmark configuration (paper Section 2 and the Section 5 variations).
+
+One :class:`BenchmarkConfig` fixes both the database extension (size,
+generation probabilities, fanout, sightseeing bound, seed) and the
+engine configuration (page size, buffer capacity, replacement policy).
+The experiment modules build the paper's variations from
+:data:`DEFAULT_CONFIG` via :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import BenchmarkError
+from repro.storage.constants import DEFAULT_BUFFER_PAGES, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """All knobs of one benchmark setup."""
+
+    #: Number of Station objects ("Our database extension consists of
+    #: 1500 complex objects").
+    n_objects: int = 1500
+
+    #: Sub-object fanout: possible platforms per station, railroads per
+    #: platform, and connections per railroad (default 2; the data-skew
+    #: experiment of Section 5.5 uses 8).
+    fanout: int = 2
+
+    #: Independent generation probability of each potential sub-object
+    #: (default 0.8; the data-skew experiment uses 0.2).  Expected
+    #: children per station = (fanout * probability)^3.
+    probability: float = 0.8
+
+    #: Upper bound of the uniform Sightseeing count (default 15;
+    #: Figure 5 varies it over 0 / 15 / 30).
+    max_sightseeing: int = 15
+
+    #: Seed of the database generator.
+    seed: int = 42
+
+    #: Seed of the query root-selection sequence (kept separate so every
+    #: storage model sees the identical access pattern).
+    query_seed: int = 4242
+
+    # -- engine -----------------------------------------------------------
+
+    page_size: int = PAGE_SIZE
+    buffer_pages: int = DEFAULT_BUFFER_PAGES
+    policy: str = "lru"
+
+    # -- query workload -----------------------------------------------------
+
+    #: Loops of queries 2b/3b; None = n_objects // 5 (the paper executes
+    #: "the query loop 1/5 * 'database size' times", Section 5.4).
+    loops: int | None = None
+
+    #: Sample size of query 1a (single-object retrievals, averaged).
+    q1a_sample: int = 100
+
+    #: Sample size of query 1b (value selections, averaged).
+    q1b_sample: int = 3
+
+    #: Independent single loops averaged for queries 2a/3a (one random
+    #: root has huge variance; the mean estimates the expected cost).
+    q2a_sample: int = 15
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise BenchmarkError("n_objects must be positive")
+        if not 0.0 <= self.probability <= 1.0:
+            raise BenchmarkError("probability must be within [0, 1]")
+        if self.fanout < 0:
+            raise BenchmarkError("fanout must be non-negative")
+        if self.max_sightseeing < 0:
+            raise BenchmarkError("max_sightseeing must be non-negative")
+        if self.loops is not None and self.loops < 1:
+            raise BenchmarkError("loops must be positive when given")
+
+    @property
+    def effective_loops(self) -> int:
+        """Loop count of queries 2b/3b."""
+        if self.loops is not None:
+            return self.loops
+        return max(1, self.n_objects // 5)
+
+    @property
+    def expected_children(self) -> float:
+        """Expected outgoing references per station: (fanout·p)³."""
+        return (self.fanout * self.probability) ** 3
+
+    @property
+    def expected_platforms(self) -> float:
+        """Expected platforms per station: fanout·p."""
+        return self.fanout * self.probability
+
+    @property
+    def expected_sightseeings(self) -> float:
+        """Expected sightseeings per station: uniform 0..max."""
+        return self.max_sightseeing / 2.0
+
+    def with_changes(self, **changes) -> "BenchmarkConfig":
+        """A modified copy (convenience over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+
+#: The paper's default setup.
+DEFAULT_CONFIG = BenchmarkConfig()
+
+#: The data-skew setup of Section 5.5 (same means, higher variance).
+SKEWED_CONFIG = DEFAULT_CONFIG.with_changes(probability=0.2, fanout=8)

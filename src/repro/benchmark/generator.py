@@ -1,0 +1,127 @@
+"""Random generation of the benchmark database extension (Section 2.1).
+
+Each of the ``n_objects`` Stations gets:
+
+* up to ``fanout`` Platforms, each created with independent probability
+  ``probability``;
+* per Platform, ``fanout`` railroads each existing with probability
+  ``probability``, and per existing railroad ``fanout`` Connections
+  each established with probability ``probability`` — so a potential
+  connection materialises with probability ``probability²`` (0.64 for
+  the default 0.8), "each Platform has at most four Connections, which
+  are each generated with a probability of (0.80² =) 64%";
+* a uniform 0..``max_sightseeing`` number of Sightseeings;
+* every Connection references a uniformly chosen Station, stored both
+  logically (``KeyConnection``) and physically (``OidConnection``).
+
+Generation is deterministic in the seed, so every storage model loads
+the identical extension.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.schema import (
+    CONNECTION_SCHEMA,
+    PLATFORM_SCHEMA,
+    SIGHTSEEING_SCHEMA,
+    STATION_SCHEMA,
+    key_of_oid,
+)
+from repro.nf2.values import NestedTuple
+
+
+def generate_stations(config: BenchmarkConfig) -> list[NestedTuple]:
+    """Generate the full extension for ``config`` (OID = list position)."""
+    rng = random.Random(config.seed)
+    stations: list[NestedTuple] = []
+    for oid in range(config.n_objects):
+        stations.append(_generate_station(oid, config, rng))
+    return stations
+
+
+def _generate_station(oid: int, config: BenchmarkConfig, rng: random.Random) -> NestedTuple:
+    key = key_of_oid(oid)
+    platforms = [
+        _generate_platform(oid, index, config, rng)
+        for index in range(config.fanout)
+        if rng.random() < config.probability
+    ]
+    n_sights = rng.randint(0, config.max_sightseeing)
+    sightseeings = [_generate_sightseeing(index, rng) for index in range(n_sights)]
+    return NestedTuple(
+        STATION_SCHEMA,
+        {
+            "Key": key,
+            "NoPlatform": len(platforms),
+            "NoSeeing": len(sightseeings),
+            "Name": f"Station-{key}",
+        },
+        {"Platform": platforms, "Sightseeing": sightseeings},
+    )
+
+
+def _generate_platform(
+    oid: int, index: int, config: BenchmarkConfig, rng: random.Random
+) -> NestedTuple:
+    connections: list[NestedTuple] = []
+    line_nr = 0
+    for _railroad in range(config.fanout):
+        if rng.random() >= config.probability:
+            continue
+        for _conn in range(config.fanout):
+            if rng.random() >= config.probability:
+                continue
+            target = rng.randrange(config.n_objects)
+            connections.append(
+                NestedTuple(
+                    CONNECTION_SCHEMA,
+                    {
+                        "LineNr": line_nr,
+                        "KeyConnection": key_of_oid(target),
+                        "OidConnection": target,
+                        "DepartureTimes": "06:00 08:00 12:00 17:00 21:00",
+                    },
+                )
+            )
+            line_nr += 1
+    return NestedTuple(
+        PLATFORM_SCHEMA,
+        {
+            "PlatformNr": index,
+            "NoLine": len(connections),
+            "TicketCode": 100 + index,
+            "Information": f"Platform {index} of station {oid}",
+        },
+        {"Connection": connections},
+    )
+
+
+def _generate_sightseeing(index: int, rng: random.Random) -> NestedTuple:
+    return NestedTuple(
+        SIGHTSEEING_SCHEMA,
+        {
+            "SeeingNr": index,
+            "Description": f"Attraction {index}",
+            "Location": f"{rng.randint(1, 99)} Museum Lane",
+            "History": "Founded long ago",
+            "Remarks": "Open daily",
+        },
+    )
+
+
+def child_oids(station: NestedTuple) -> list[int]:
+    """Outgoing reference targets of a generated station, in order."""
+    return [
+        connection["OidConnection"]
+        for platform in station.subtuples("Platform")
+        for connection in platform.subtuples("Connection")
+    ]
+
+
+def total_connections(stations: Sequence[NestedTuple]) -> int:
+    """Total number of Connection tuples in the extension."""
+    return sum(len(child_oids(station)) for station in stations)

@@ -1,0 +1,97 @@
+"""Benchmark runner: generate once, load per model, measure per query.
+
+The runner reproduces the measurement discipline of Section 5: every
+storage model loads the *identical* generated extension, each query
+starts with a cold buffer, queries 2b/3b keep the buffer warm across
+their loops, and the metrics cover everything up to the final flush
+("database disconnect").  Load I/O is excluded, as are all address-table
+accesses (Section 5.1's accounting rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.benchmark.generator import generate_stations
+from repro.benchmark.queries import QUERY_NAMES, QueryResult, QuerySuite
+from repro.benchmark.stats import DatabaseStatistics
+from repro.models.base import StorageModel
+from repro.models.registry import MEASURED_MODELS, create_model
+from repro.nf2.serializer import DASDBS_FORMAT, StorageFormat
+from repro.nf2.values import NestedTuple
+from repro.storage import StorageEngine
+
+
+@dataclass
+class ModelRun:
+    """All measurements of one storage model on one extension."""
+
+    model_name: str
+    results: dict[str, QueryResult | None]
+    relation_pages: dict[str, int]
+
+    @property
+    def total_pages(self) -> int:
+        return sum(self.relation_pages.values())
+
+    def metric(self, query: str, attribute: str) -> float | None:
+        """Normalised metric value, or None if the query is unsupported."""
+        result = self.results.get(query)
+        if result is None:
+            return None
+        return getattr(result.normalized, attribute)
+
+
+@dataclass
+class BenchmarkRunner:
+    """Runs query suites over storage models on one generated extension."""
+
+    config: BenchmarkConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+    fmt: StorageFormat = DASDBS_FORMAT
+
+    def __post_init__(self) -> None:
+        self._stations: list[NestedTuple] | None = None
+
+    @property
+    def stations(self) -> list[NestedTuple]:
+        """The generated extension (lazily created, then reused)."""
+        if self._stations is None:
+            self._stations = generate_stations(self.config)
+        return self._stations
+
+    def statistics(self) -> DatabaseStatistics:
+        return DatabaseStatistics.from_stations(self.stations)
+
+    def build_model(self, name: str) -> StorageModel:
+        """Create an engine, instantiate the model, bulk-load the data."""
+        engine = StorageEngine(
+            page_size=self.config.page_size,
+            buffer_pages=self.config.buffer_pages,
+            policy=self.config.policy,
+        )
+        model = create_model(name, engine, self.fmt)
+        model.load(self.stations)
+        return model
+
+    def run_model(
+        self, name: str, queries: Sequence[str] = QUERY_NAMES
+    ) -> ModelRun:
+        """Load one model and run the requested queries."""
+        model = self.build_model(name)
+        suite = QuerySuite(model, self.config)
+        results = suite.run_all(queries)
+        return ModelRun(
+            model_name=name,
+            results=results,
+            relation_pages=model.relation_pages(),
+        )
+
+    def run_models(
+        self,
+        names: Sequence[str] = MEASURED_MODELS,
+        queries: Sequence[str] = QUERY_NAMES,
+    ) -> dict[str, ModelRun]:
+        """Run several models over the same extension."""
+        return {name: self.run_model(name, queries) for name in names}

@@ -1,0 +1,76 @@
+"""The benchmark complex object (paper Figure 1).
+
+A railway ``Station`` with two relation-valued attributes:
+
+* ``Platform`` (at most 2 per station, each generated with independent
+  probability 0.8), nesting ``Connection`` (at most 4 per platform,
+  each generated with probability 0.8² = 0.64) — a ``Connection``
+  references another Station both logically (``KeyConnection``) and
+  physically (``OidConnection: LINK``);
+* ``Sightseeing`` (uniformly 0..15 per station).
+
+All strings are fixed 100-byte attributes, all numbers 4-byte INTs,
+matching the byte annotations of Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.nf2.schema import RelationSchema, int_attr, link_attr, str_attr
+
+#: Offset between an object's logical key and its OID; keys and OIDs are
+#: deliberately distinct value ranges so that confusing them is an error
+#: that tests catch, not a silent coincidence.
+KEY_BASE = 10_000
+
+CONNECTION_SCHEMA = RelationSchema(
+    "Connection",
+    (
+        int_attr("LineNr"),
+        int_attr("KeyConnection"),
+        link_attr("OidConnection"),
+        str_attr("DepartureTimes"),
+    ),
+)
+
+PLATFORM_SCHEMA = RelationSchema(
+    "Platform",
+    (
+        int_attr("PlatformNr"),
+        int_attr("NoLine"),
+        int_attr("TicketCode"),
+        str_attr("Information"),
+    ),
+    (CONNECTION_SCHEMA,),
+)
+
+SIGHTSEEING_SCHEMA = RelationSchema(
+    "Sightseeing",
+    (
+        int_attr("SeeingNr"),
+        str_attr("Description"),
+        str_attr("Location"),
+        str_attr("History"),
+        str_attr("Remarks"),
+    ),
+)
+
+STATION_SCHEMA = RelationSchema(
+    "Station",
+    (
+        int_attr("Key"),
+        int_attr("NoPlatform"),
+        int_attr("NoSeeing"),
+        str_attr("Name"),
+    ),
+    (PLATFORM_SCHEMA, SIGHTSEEING_SCHEMA),
+)
+
+
+def key_of_oid(oid: int) -> int:
+    """Logical key of the station with object id ``oid``."""
+    return KEY_BASE + oid
+
+
+def oid_of_key(key: int) -> int:
+    """Object id of the station with logical key ``key``."""
+    return key - KEY_BASE

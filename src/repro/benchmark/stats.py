@@ -1,0 +1,67 @@
+"""Descriptive statistics of a generated extension.
+
+Used to verify the generator against the paper's reported averages
+("each Station object contained, on the average, 1.59 Platforms, 4.04
+Connections, and 7.64 Sightseeings", Section 5.1) and to parameterise
+the analytical model with *measured* rather than nominal values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.nf2.serializer import StorageFormat
+from repro.nf2.values import NestedTuple
+
+
+@dataclass(frozen=True)
+class DatabaseStatistics:
+    """Aggregate structure statistics of one extension."""
+
+    n_objects: int
+    avg_platforms: float
+    avg_connections: float
+    avg_sightseeings: float
+    max_platforms: int
+    max_connections: int
+    max_sightseeings: int
+    total_platforms: int
+    total_connections: int
+    total_sightseeings: int
+
+    @staticmethod
+    def from_stations(stations: Sequence[NestedTuple]) -> "DatabaseStatistics":
+        n = len(stations)
+        platforms = [len(s.subtuples("Platform")) for s in stations]
+        connections = [
+            sum(len(p.subtuples("Connection")) for p in s.subtuples("Platform"))
+            for s in stations
+        ]
+        sights = [len(s.subtuples("Sightseeing")) for s in stations]
+        return DatabaseStatistics(
+            n_objects=n,
+            avg_platforms=sum(platforms) / n,
+            avg_connections=sum(connections) / n,
+            avg_sightseeings=sum(sights) / n,
+            max_platforms=max(platforms, default=0),
+            max_connections=max(connections, default=0),
+            max_sightseeings=max(sights, default=0),
+            total_platforms=sum(platforms),
+            total_connections=sum(connections),
+            total_sightseeings=sum(sights),
+        )
+
+    @property
+    def avg_children(self) -> float:
+        """Average outgoing references per object (= avg connections)."""
+        return self.avg_connections
+
+    @property
+    def avg_grandchildren(self) -> float:
+        """Average second-level references per navigation loop."""
+        return self.avg_connections**2
+
+    def avg_object_size(self, fmt: StorageFormat, stations: Sequence[NestedTuple]) -> float:
+        """Average encoded size of a whole object under ``fmt``."""
+        return sum(fmt.nested_size(s) for s in stations) / len(stations)

@@ -1,0 +1,45 @@
+"""Equation 1: combining I/O calls and page transfers into one cost.
+
+``C_disk I/O = d1 * X_IO_calls + d2 * X_IO_pages`` — the paper leaves
+d1/d2 open and reports the two counters separately; this module gives
+them a concrete interpretation as disk service time (seek+rotation per
+call, transfer per page) so the extended reports can rank models by a
+single number, and adds a crude response-time proxy including the
+buffer-fix CPU cost (the paper's Section 5.2 ties response time to page
+fixes: NSM's 370,000 fixes → 2.5 hours on a Sun 3/60).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.metrics import MetricsSnapshot, ScaledMetrics
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Weights of Equation 1 plus an optional CPU term.
+
+    Defaults model a late-1980s disk: ~25 ms positioning per I/O call,
+    ~2 ms transfer per 2 KB page, and ~0.2 ms of CPU per buffer fix.
+    """
+
+    d1: float = 25.0  #: ms per I/O call
+    d2: float = 2.0  #: ms per page transferred
+    fix_cost: float = 0.2  #: ms per buffer fix (CPU proxy)
+
+    def disk_cost(self, io_calls: float, io_pages: float) -> float:
+        """Equation 1 for explicit counter values."""
+        return self.d1 * io_calls + self.d2 * io_pages
+
+    def disk_cost_of(self, metrics: MetricsSnapshot | ScaledMetrics) -> float:
+        """Equation 1 for a metrics snapshot (raw or normalised)."""
+        return self.disk_cost(metrics.io_calls, metrics.io_pages)
+
+    def total_cost_of(self, metrics: MetricsSnapshot | ScaledMetrics) -> float:
+        """Disk cost plus the buffer-fix CPU proxy."""
+        return self.disk_cost_of(metrics) + self.fix_cost * metrics.page_fixes
+
+
+#: Weights approximating the paper's measurement platform.
+DEFAULT_WEIGHTS = CostWeights()

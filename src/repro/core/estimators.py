@@ -1,0 +1,358 @@
+"""Analytical page-I/O estimators: Table 3 of the paper.
+
+For every storage model and every benchmark query this module predicts
+the expected number of page I/Os, combining the formulas of
+:mod:`repro.core.formulas` with the Table 2 parameters of
+:mod:`repro.core.parameters`.  Like the paper's Table 3:
+
+* estimates assume a large cache ("Since we assumed a large cache, all
+  estimates are best case") — ``worst=True`` disables cross-loop cache
+  reuse instead, giving the worst-case curves of Figure 6;
+* ``primed=True`` computes the primed rows ("the imaginary situation
+  without wasted disk space"): fractional instead of whole-page
+  occupancy, and object headers merged into the data stream;
+* query-1 results are per object, query-2/3 results per loop;
+* query-3 results include the pages written back.
+
+Derivations of the individual terms are documented inline; each closed
+form was cross-checked against the legible Table 3 anchor values (DSM
+row, DSM′ 2a = 65.2, NSM+index 1a = 5.96 / 2a = 23.2, DASDBS-NSM′
+1b = 120 / 2a = 21.8) and against the engine's measurements.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.core import formulas
+from repro.core.parameters import (
+    ModelParameters,
+    RelationParameters,
+    WorkloadParameters,
+)
+from repro.errors import BenchmarkError
+
+QUERIES = ("1a", "1b", "1c", "2a", "2b", "3a", "3b")
+
+
+def _run_pages(t: float, k: float) -> float:
+    """Expected pages of one cluster of t consecutive small tuples."""
+    if t <= 0:
+        return 0.0
+    return 1.0 + max(0.0, t - 1.0) / k
+
+
+class AnalyticalEvaluator:
+    """Computes the Table 3 estimates for one parameter set."""
+
+    def __init__(
+        self,
+        params: dict[str, ModelParameters],
+        workload: WorkloadParameters,
+    ) -> None:
+        self.params = params
+        self.workload = workload
+
+    # -- public API --------------------------------------------------------
+
+    def estimate(
+        self,
+        model: str,
+        query: str,
+        primed: bool = False,
+        worst: bool = False,
+    ) -> float | None:
+        """Expected page I/Os for ``model`` on ``query``.
+
+        Returns None where the paper's table shows "-" (query 1a on
+        plain NSM).  ``worst`` affects only the looped queries 2b/3b,
+        for which the single-loop estimate is the worst case ("we may
+        regard the analytically calculated value for query 2a as a
+        worst case estimate for query 2b").
+        """
+        if query not in QUERIES:
+            raise BenchmarkError(f"unknown query {query!r}")
+        if worst and query in ("2b", "3b"):
+            return self.estimate(model, "2a" if query == "2b" else "3a", primed=primed)
+        handler = {
+            "DSM": self._dsm,
+            "DASDBS-DSM": self._dasdbs_dsm,
+            "NSM": self._nsm,
+            "NSM+index": self._nsm_index,
+            "DASDBS-NSM": self._dasdbs_nsm,
+        }.get(model)
+        if handler is None:
+            raise BenchmarkError(f"unknown storage model {model!r}")
+        return handler(query, primed)
+
+    def estimate_all(self, model: str, primed: bool = False) -> dict[str, float | None]:
+        return {query: self.estimate(model, query, primed) for query in QUERIES}
+
+    # -- shared workload quantities ------------------------------------------------
+
+    @property
+    def _w(self) -> WorkloadParameters:
+        return self.workload
+
+    def _per_loop_objects(self) -> float:
+        """Distinct objects accessed in one cold loop (root included)."""
+        return self._w.distinct_per_loop()
+
+    def _per_loop_objects_warm(self) -> float:
+        """Distinct objects per loop amortised over all warm loops."""
+        return self._w.distinct_over_loops() / self._w.loops
+
+    # ------------------------------------------------------------------------------
+    # DSM — whole-object transfers only
+    # ------------------------------------------------------------------------------
+
+    def _dsm_cost_full(self, rel: RelationParameters, primed: bool) -> float:
+        if rel.is_large:
+            return rel.p_unwasted if primed else float(rel.p or 0)
+        return 1.0  # the whole object lives in one shared page
+
+    def _dsm(self, query: str, primed: bool) -> float | None:
+        rel = self.params["DSM"].relations[0]
+        n = self._w.n_objects
+        full = self._dsm_cost_full(rel, primed)
+        m = rel.tuples_total / (rel.k or 1) if not rel.is_large else rel.m
+        m_eff = n * full if rel.is_large else m
+
+        if query == "1a":
+            return full
+        if query == "1b":
+            return m_eff  # unordered value selection scans the relation
+        if query == "1c":
+            return m_eff / n
+
+        if rel.is_large:
+            read_2a = self._per_loop_objects() * full
+            read_2b = self._per_loop_objects_warm() * full
+            write_a = self._w.distinct_updated_per_loop() * full
+            write_b = self._w.distinct_updated_over_loops() * full / self._w.loops
+        else:
+            read_2a = formulas.pages_small_random(self._per_loop_objects(), m)
+            read_2b = (
+                formulas.pages_small_random(self._w.distinct_over_loops(), m)
+                / self._w.loops
+            )
+            write_a = formulas.pages_small_random(self._w.distinct_updated_per_loop(), m)
+            write_b = (
+                formulas.pages_small_random(self._w.distinct_updated_over_loops(), m)
+                / self._w.loops
+            )
+
+        if query == "2a":
+            return read_2a
+        if query == "2b":
+            return read_2b
+        if query == "3a":
+            return read_2a + write_a
+        if query == "3b":
+            return read_2b + write_b
+        return None  # pragma: no cover
+
+    # ------------------------------------------------------------------------------
+    # DASDBS-DSM — header-guided partial transfers
+    # ------------------------------------------------------------------------------
+
+    def _partial_pages(self, rel: RelationParameters, n_sections: int, primed: bool) -> float:
+        """Pages to read the first ``n_sections`` sections of an object.
+
+        Sections are laid out back to back from the start of the data
+        stream, so a prefix of the sections occupies a prefix of the
+        data pages.  Unprimed: header page(s) plus the data pages the
+        prefix overlaps; primed: header merged into the stream.
+        """
+        if not rel.is_large:
+            return 1.0
+        page = self.params["DASDBS-DSM"].page_bytes
+        prefix = sum(rel.section_bytes[:n_sections])
+        if primed:
+            # Without wasted space the (unpadded) directory shares the
+            # data stream: root + Platform fit one page — the paper's
+            # DASDBS-DSM' values of 21.7 (2a) and 4.94 (2b).
+            return max(1.0, ceil((rel.directory_bytes + prefix) / page))
+        header_pages = max(1, ceil(rel.header_bytes / page))
+        return header_pages + max(1.0, ceil(prefix / page))
+
+    def _dasdbs_dsm(self, query: str, primed: bool) -> float | None:
+        rel = self.params["DASDBS-DSM"].relations[0]
+        n = self._w.n_objects
+        page = self.params["DASDBS-DSM"].page_bytes
+        if rel.is_large:
+            # All data pages hold used data, so a full retrieval reads
+            # header + S_data/S_page pages in expectation — waste never
+            # transfers (this is why DASDBS-DSM == DSM′ in Table 3 for
+            # query 1, both 3.00).
+            header_pages = max(1, ceil(rel.header_bytes / page))
+            full = header_pages + rel.data_bytes / page
+        else:
+            full = 1.0
+        nav = self._partial_pages(rel, 2, primed)  # root + Platform sections
+        root = self._partial_pages(rel, 1, primed)  # root section only
+
+        if query == "1a":
+            return full
+        if query == "1b":
+            # Scan headers + root sections of every object, then fetch
+            # the single match in full.
+            return n * root + max(0.0, full - root)
+        if query == "1c":
+            return full
+
+        if query == "2a":
+            return self._per_loop_objects() * nav
+        if query == "2b":
+            return self._per_loop_objects_warm() * nav
+        # Updates: one change-attribute call per object, each writing
+        # its single-page page pool immediately (Section 5.3) — no
+        # write batching, no cross-loop coalescing.
+        writes_per_loop = self._w.distinct_updated_per_loop()
+        if query == "3a":
+            return self._per_loop_objects() * nav + writes_per_loop
+        if query == "3b":
+            return self._per_loop_objects_warm() * nav + writes_per_loop
+        return None  # pragma: no cover
+
+    # ------------------------------------------------------------------------------
+    # NSM — value scans only
+    # ------------------------------------------------------------------------------
+
+    def _nsm(self, query: str, primed: bool) -> float | None:
+        params = self.params["NSM"]
+        m_total = params.total_pages
+        m_station = params.relation("NSM_Station").m
+        m_conn = params.relation("NSM_Connection").m
+        n = self._w.n_objects
+
+        if query == "1a":
+            return None  # "With NSM we have no identifiers"
+        if query == "1b":
+            return m_total
+        if query == "1c":
+            return m_total / n
+        # One navigation loop touches the Station and Connection
+        # relations (two scan passes each, the second from cache).
+        if query == "2a":
+            return m_station + m_conn
+        if query == "2b":
+            return (m_station + m_conn) / self._w.loops
+        upd_tuples = self._w.distinct_updated_per_loop()
+        if query == "3a":
+            return m_station + m_conn + formulas.pages_small_random(upd_tuples, m_station)
+        if query == "3b":
+            total_upd = self._w.distinct_updated_over_loops()
+            dirty = formulas.pages_small_random(total_upd, m_station)
+            return (m_station + m_conn + dirty) / self._w.loops
+        return None  # pragma: no cover
+
+    # ------------------------------------------------------------------------------
+    # NSM+index — record access through an address index
+    # ------------------------------------------------------------------------------
+
+    def _nsm_index(self, query: str, primed: bool) -> float | None:
+        params = self.params["NSM+index"]
+        station = params.relation("NSM_Station")
+        platform = params.relation("NSM_Platform")
+        conn = params.relation("NSM_Connection")
+        sight = params.relation("NSM_Sightseeing")
+        w = self._w
+        n = w.n_objects
+
+        per_object = (
+            1.0
+            + _run_pages(platform.tuples_per_object, platform.k or 1)
+            + _run_pages(conn.tuples_per_object, conn.k or 1)
+            + _run_pages(sight.tuples_per_object, sight.k or 1)
+        )
+        if query == "1a":
+            return per_object
+        if query == "1b":
+            return station.m + (per_object - 1.0)
+        if query == "1c":
+            return params.total_pages / n
+
+        def nav_reads(objects_conn: float, objects_station: float) -> float:
+            conn_pages = formulas.pages_clustered_groups(
+                objects_conn, conn.tuples_per_object, conn.m, conn.k or 1
+            )
+            station_pages = formulas.pages_small_random(objects_station, station.m)
+            return conn_pages + station_pages
+
+        # Per cold loop: the root and its children are read in the
+        # Connection relation; the root and the grand-children in the
+        # Station relation.
+        conn_objects = 1.0 + formulas.distinct_selected(n, w.children)
+        station_objects = 1.0 + formulas.distinct_selected(n, w.grandchildren)
+        if query == "2a":
+            return nav_reads(conn_objects, station_objects)
+        conn_total = formulas.distinct_selected(n, w.loops * (1.0 + w.children))
+        station_total = formulas.distinct_selected(n, w.loops * (1.0 + w.grandchildren))
+        if query == "2b":
+            return nav_reads(conn_total, station_total) / w.loops
+        if query == "3a":
+            dirty = formulas.pages_small_random(w.distinct_updated_per_loop(), station.m)
+            return nav_reads(conn_objects, station_objects) + dirty
+        if query == "3b":
+            dirty = formulas.pages_small_random(
+                w.distinct_updated_over_loops(), station.m
+            )
+            return (nav_reads(conn_total, station_total) + dirty) / w.loops
+        return None  # pragma: no cover
+
+    # ------------------------------------------------------------------------------
+    # DASDBS-NSM — one nested tuple per relation per object + address table
+    # ------------------------------------------------------------------------------
+
+    def _dasdbs_nsm(self, query: str, primed: bool) -> float | None:
+        params = self.params["DASDBS-NSM"]
+        station = params.relation("DASDBS_NSM_Station")
+        platform = params.relation("DASDBS_NSM_Platform")
+        conn = params.relation("DASDBS_NSM_Connection")
+        sight = params.relation("DASDBS_NSM_Sightseeing")
+        w = self._w
+        n = w.n_objects
+
+        def tuple_cost(rel: RelationParameters) -> float:
+            if rel.is_large:
+                return rel.p_unwasted if primed else float(rel.p or 0)
+            return 1.0
+
+        per_object = sum(tuple_cost(rel) for rel in (station, platform, conn, sight))
+        if query == "1a":
+            return per_object
+        if query == "1b":
+            # Value selection on the root relation only; everything
+            # else by address through the transformation table.
+            return station.m + (per_object - 1.0)
+        if query == "1c":
+            if primed:
+                return sum(
+                    rel.p_unwasted if rel.is_large else rel.m / n
+                    for rel in params.relations
+                )
+            return params.total_pages / n
+
+        def nav_reads(objects_conn: float, objects_station: float) -> float:
+            conn_pages = formulas.pages_small_random(objects_conn, conn.m)
+            station_pages = formulas.pages_small_random(objects_station, station.m)
+            return conn_pages + station_pages
+
+        conn_objects = 1.0 + formulas.distinct_selected(n, w.children)
+        station_objects = 1.0 + formulas.distinct_selected(n, w.grandchildren)
+        if query == "2a":
+            return nav_reads(conn_objects, station_objects)
+        conn_total = formulas.distinct_selected(n, w.loops * (1.0 + w.children))
+        station_total = formulas.distinct_selected(n, w.loops * (1.0 + w.grandchildren))
+        if query == "2b":
+            return nav_reads(conn_total, station_total) / w.loops
+        if query == "3a":
+            dirty = formulas.pages_small_random(w.distinct_updated_per_loop(), station.m)
+            return nav_reads(conn_objects, station_objects) + dirty
+        if query == "3b":
+            dirty = formulas.pages_small_random(
+                w.distinct_updated_over_loops(), station.m
+            )
+            return (nav_reads(conn_total, station_total) + dirty) / w.loops
+        return None  # pragma: no cover

@@ -1,0 +1,124 @@
+"""Qualitative overall evaluation — the paper's Table 8.
+
+The paper orders the four storage models "from the best (++) to the
+worst (--)" on five cost factors: buffer fixes and join effort (the
+processing costs), I/O calls and I/O pages (the disk costs), and the
+total.  We reproduce the table *computationally*: each factor is scored
+from the measured benchmark runs, except the join factor, which — as in
+the paper — is a structural judgement ("we omitted this join in both
+our analytical evaluation, and our measurements"): DSM and DASDBS-DSM
+need no joins, DASDBS-NSM joins with address support, NSM joins by
+value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.benchmark.runner import ModelRun
+from repro.core.cost import CostWeights, DEFAULT_WEIGHTS
+from repro.errors import BenchmarkError
+
+#: Grades from best to worst, as printed in Table 8.
+GRADES = ("++", "+", "-", "--")
+
+#: Structural join effort per model: rank position 0 (best) .. 3 (worst).
+JOIN_RANKS = {
+    "DSM": 0,  # object stored as a whole, no reassembly
+    "DASDBS-DSM": 0,  # idem
+    "DASDBS-NSM": 2,  # joins needed, supported by the address table
+    "NSM": 3,  # full value joins over four relations
+}
+
+#: The factors (columns) of Table 8.
+FACTORS = ("buffer_fixes", "join", "io_calls", "io_pages", "total")
+
+
+@dataclass(frozen=True)
+class RankingRow:
+    """Grades of one storage model across the cost factors."""
+
+    model: str
+    grades: dict[str, str]
+    scores: dict[str, float]
+
+
+def _grade_from_values(values: Mapping[str, float]) -> dict[str, str]:
+    """Map each model's value to ++/+/-/-- by rank (lower is better)."""
+    ordered = sorted(values, key=lambda model: values[model])
+    grades: dict[str, str] = {}
+    for position, model in enumerate(ordered):
+        grades[model] = GRADES[min(position, len(GRADES) - 1)]
+    return grades
+
+
+def _aggregate(run: ModelRun, attribute: str) -> float:
+    """Sum a normalised metric over all supported queries."""
+    total = 0.0
+    for result in run.results.values():
+        if result is not None:
+            total += getattr(result.normalized, attribute)
+    return total
+
+
+def rank_models(
+    runs: Mapping[str, ModelRun],
+    weights: CostWeights = DEFAULT_WEIGHTS,
+    models: Sequence[str] = ("DSM", "DASDBS-DSM", "NSM", "DASDBS-NSM"),
+) -> list[RankingRow]:
+    """Build Table 8 from measured runs.
+
+    The per-factor score of a model is the sum of its normalised metric
+    over all queries it supports; the total combines disk cost
+    (Equation 1) with the join rank and the fix cost.
+    """
+    missing = [m for m in models if m not in runs]
+    if missing:
+        raise BenchmarkError(f"missing measured runs for: {missing}")
+
+    fixes = {m: _aggregate(runs[m], "page_fixes") for m in models}
+    calls = {m: _aggregate(runs[m], "io_calls") for m in models}
+    pages = {m: _aggregate(runs[m], "io_pages") for m in models}
+    join = {m: float(JOIN_RANKS.get(m, 1)) for m in models}
+    total = {
+        m: weights.disk_cost(calls[m], pages[m])
+        + weights.fix_cost * fixes[m]
+        + join[m] * weights.fix_cost * fixes[m]  # join effort scales with data touched
+        for m in models
+    }
+
+    factor_values = {
+        "buffer_fixes": fixes,
+        "join": join,
+        "io_calls": calls,
+        "io_pages": pages,
+        "total": total,
+    }
+    factor_grades = {name: _grade_from_values(vals) for name, vals in factor_values.items()}
+
+    rows = []
+    for model in models:
+        rows.append(
+            RankingRow(
+                model=model,
+                grades={name: factor_grades[name][model] for name in FACTORS},
+                scores={name: factor_values[name][model] for name in FACTORS},
+            )
+        )
+    return rows
+
+
+def paper_conclusion_holds(rows: Sequence[RankingRow]) -> bool:
+    """Check the paper's Section 6 conclusion against computed ranks.
+
+    "As an overall conclusion, DASDBS-NSM seems to be the best and NSM
+    the worst.  Also, DASDBS-DSM is (more powerful thus) better than
+    DSM."
+    """
+    totals = {row.model: row.scores["total"] for row in rows}
+    return (
+        totals["DASDBS-NSM"] == min(totals.values())
+        and totals["NSM"] == max(totals.values())
+        and totals["DASDBS-DSM"] < totals["DSM"]
+    )

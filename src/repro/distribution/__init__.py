@@ -1,0 +1,23 @@
+"""Distribution extension: per-node I/O balance under data skew.
+
+The paper closes its data-skew study (Section 5.5) with an observation
+it does not evaluate: "in a distributed system the data skew might
+cause more effects, which could possibly be distinguishing for the
+storage models as well.  For, with data skew the disk I/Os are likely
+to be less equally distributed over the nodes if we store a single
+object on a single node."
+
+This subpackage implements that forecast experiment: objects are placed
+on the nodes of a shared-nothing cluster (one object on one node, as
+the paper assumes), the benchmark navigation workload is replayed
+against per-node page-cost models, and the imbalance of the per-node
+disk I/Os is measured for each storage model.
+"""
+
+from repro.distribution.cluster import (
+    ClusterLoad,
+    NodePlacement,
+    simulate_navigation_load,
+)
+
+__all__ = ["ClusterLoad", "NodePlacement", "simulate_navigation_load"]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish storage-level from model-level problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SchemaError(ReproError):
+    """A relation schema or attribute definition is invalid."""
+
+
+class SerializationError(ReproError):
+    """A nested tuple cannot be encoded or decoded."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class PageOverflowError(StorageError):
+    """A record does not fit into the free space of a page."""
+
+
+class InvalidAddressError(StorageError):
+    """A page id, record id, or object address does not exist."""
+
+
+class BufferError_(StorageError):
+    """Buffer-manager protocol violation (e.g. unfix without fix)."""
+
+
+class BufferFullError(BufferError_):
+    """All buffer frames are fixed; no victim can be evicted."""
+
+
+class ModelError(ReproError):
+    """A storage model was used in an unsupported way."""
+
+
+class UnsupportedOperationError(ModelError):
+    """The storage model does not support the requested operation.
+
+    For example, plain NSM stores no physical object identifiers, so
+    query 1a (retrieve by OID) is *not relevant* for it — exactly as in
+    the paper, Section 3.3.
+    """
+
+
+class BenchmarkError(ReproError):
+    """Benchmark configuration or execution failure."""

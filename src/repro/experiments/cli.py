@@ -1,0 +1,92 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-experiments                 # everything, full scale (slow)
+    repro-experiments --fast          # everything, reduced scale
+    repro-experiments table3 table4   # selected experiments
+    python -m repro.experiments       # same as repro-experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.experiments import (
+    ablations,
+    distribution,
+    figure5,
+    figure6,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.measure import FAST_CONFIG
+
+EXPERIMENTS: dict[str, Callable[[BenchmarkConfig], str]] = {
+    "table2": table2.render,
+    "table3": table3.render,
+    "table4": table4.render,
+    "table5": table5.render,
+    "table6": table6.render,
+    "table7": table7.render,
+    "table8": table8.render,
+    "figure5": figure5.render,
+    "figure6": figure6.render,
+    "ablations": ablations.render,
+    "distribution": distribution.render,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'An Evaluation of Physical "
+            "Disk I/Os for Complex Object Processing' (ICDE 1993)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help=f"experiments to run (default: all; known: {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced database scale (300 objects, scaled buffer)",
+    )
+    parser.add_argument(
+        "--objects", type=int, default=None, help="override the database size"
+    )
+    args = parser.parse_args(argv)
+
+    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+    if args.objects:
+        config = config.with_changes(n_objects=args.objects)
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(known: {', '.join(EXPERIMENTS)})"
+        )
+    for name in selected:
+        started = time.time()
+        print(EXPERIMENTS[name](config))
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the experiment reports.
+
+The harness prints the same rows the paper's tables show; these helpers
+keep the formatting in one place (fixed-width text that reads well both
+on a terminal and inside EXPERIMENTS.md code blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def fmt_value(value: Any, digits: int = 3) -> str:
+    """Format one cell: '-' for None, compact significant digits for floats."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    note: str | None = None,
+) -> str:
+    """Render a fixed-width table with a title and optional footnote."""
+    cells = [[fmt_value(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.rjust(widths[i]) for i, value in enumerate(values))
+
+    out = [title, "=" * len(title), line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    if note:
+        out.append("")
+        out.append(note)
+    return "\n".join(out) + "\n"
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    note: str | None = None,
+) -> str:
+    """Render figure data as a table: one x column, one column per series."""
+    headers = [x_label] + list(series)
+    rows = [[x] + [series[name][i] for name in series] for i, x in enumerate(xs)]
+    return render_table(title, headers, rows, note)

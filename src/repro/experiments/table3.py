@@ -1,0 +1,99 @@
+"""Table 3 — analytical estimates of the number of page I/Os.
+
+Rows: the five model variants of the paper, each with its primed
+(no-wasted-space) companion; columns: queries 1a-3b.  Two parameter
+sources are rendered: the paper's published Table 2 constants (for
+digit-exact comparison against the printed Table 3) and the parameters
+derived from our storage format (the estimates our engine measurements
+should match).
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.core.estimators import QUERIES, AnalyticalEvaluator
+from repro.core.parameters import (
+    WorkloadParameters,
+    derive_parameters,
+    paper_parameters,
+)
+from repro.experiments.report import render_table
+
+MODEL_ORDER = ("DSM", "DASDBS-DSM", "NSM", "NSM+index", "DASDBS-NSM")
+
+#: Legible anchor cells of the printed Table 3, used by regression tests.
+PAPER_ANCHORS = {
+    ("DSM", "1a"): 4.00,
+    ("DSM", "1b"): 6000.0,
+    ("DSM", "1c"): 4.00,
+    ("DSM", "2a"): 86.9,
+    ("DSM", "2b"): 19.7,
+    ("DSM", "3a"): 154.0,
+    ("DSM", "3b"): 39.1,
+    ("DSM'", "2a"): 65.2,
+    ("DASDBS-DSM", "2b"): 9.87,
+    ("DASDBS-DSM'", "2a"): 21.7,
+    ("DASDBS-DSM'", "2b"): 4.94,
+    ("NSM", "2b"): 2.25,
+    ("NSM+index", "1a"): 5.96,
+    ("NSM+index", "1b"): 121.0,
+    ("NSM+index", "1c"): 2.47,
+    ("NSM+index", "2a"): 23.2,
+    ("DASDBS-NSM'", "1b"): 120.0,
+    ("DASDBS-NSM'", "2a"): 21.8,
+}
+
+#: Legible cells we deliberately deviate from, with the reason.  The
+#: paper's primed DASDBS-NSM full-retrieval (5.00) merges the large
+#: Sightseeing tuple's directory into its data stream with an implicit
+#: ceiling; we keep the same primed convention as for DSM (fractional
+#: data pages after a full header page), giving 5.70.  Recorded in
+#: EXPERIMENTS.md.
+PAPER_KNOWN_DEVIATIONS = {
+    ("DASDBS-NSM'", "1a"): (5.00, 0.15),
+}
+
+
+def evaluator(
+    config: BenchmarkConfig = DEFAULT_CONFIG, source: str = "paper"
+) -> AnalyticalEvaluator:
+    """Build the evaluator for one parameter source ('paper'/'derived')."""
+    workload = WorkloadParameters.from_config(config)
+    if source == "paper":
+        params = paper_parameters(config.n_objects)
+    else:
+        params = derive_parameters(config)
+    return AnalyticalEvaluator(params, workload)
+
+
+def build_rows(
+    config: BenchmarkConfig = DEFAULT_CONFIG, source: str = "paper"
+) -> list[list[object]]:
+    ev = evaluator(config, source)
+    rows: list[list[object]] = []
+    for model in MODEL_ORDER:
+        for primed in (False, True):
+            label = model + ("'" if primed else "")
+            rows.append(
+                [label] + [ev.estimate(model, query, primed) for query in QUERIES]
+            )
+    return rows
+
+
+def render(config: BenchmarkConfig = DEFAULT_CONFIG) -> str:
+    headers = ["model"] + list(QUERIES)
+    out = render_table(
+        "Table 3 — analytical page-I/O estimates (paper's Table 2 parameters)",
+        headers,
+        build_rows(config, "paper"),
+        note=(
+            "Primed rows (') exclude wasted disk space.  Query 1 per object, "
+            "queries 2/3 per loop; large-cache best case, as in the paper."
+        ),
+    )
+    out += "\n" + render_table(
+        "Table 3 (derived parameters of our storage format)",
+        headers,
+        build_rows(config, "derived"),
+    )
+    return out

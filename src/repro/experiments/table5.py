@@ -1,0 +1,52 @@
+"""Table 5 — measurements of the number of I/O calls.
+
+Same measurement campaign as Table 4, projected onto I/O calls.  The
+paper's qualitative observations hold by construction of the engine:
+small-tuple reads issue one call per page; the direct models read the
+header pages and the data pages of one object in separate grouped
+calls; deferred write-back batches contiguous dirty pages into
+multi-page write calls.
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.benchmark.queries import QUERY_NAMES
+from repro.experiments.measure import measured_runs, metric_rows
+from repro.experiments.report import render_table
+from repro.models.registry import MEASURED_MODELS
+
+
+def build_rows(config: BenchmarkConfig = DEFAULT_CONFIG) -> list[list[object]]:
+    runs = measured_runs(config, MEASURED_MODELS, QUERY_NAMES)
+    return metric_rows(runs, "io_calls", QUERY_NAMES)
+
+
+def pages_per_write_call(config: BenchmarkConfig = DEFAULT_CONFIG) -> dict[str, float]:
+    """Average pages per write call in query 3a (paper: ~30 for DSM)."""
+    runs = measured_runs(config, MEASURED_MODELS, QUERY_NAMES)
+    out: dict[str, float] = {}
+    for name, run in runs.items():
+        result = run.results.get("3a")
+        if result is None or result.raw.write_calls == 0:
+            out[name] = 0.0
+        else:
+            out[name] = result.raw.pages_written / result.raw.write_calls
+    return out
+
+
+def render(config: BenchmarkConfig = DEFAULT_CONFIG) -> str:
+    headers = ["model"] + list(QUERY_NAMES)
+    out = render_table(
+        "Table 5 — measured I/O calls",
+        headers,
+        build_rows(config),
+    )
+    batch = pages_per_write_call(config)
+    rows = [[name, value] for name, value in batch.items()]
+    out += "\n" + render_table(
+        "Pages per write call, query 3a (paper: ~30 DSM / ~20 DASDBS-DSM)",
+        ["model", "pages/write call"],
+        rows,
+    )
+    return out

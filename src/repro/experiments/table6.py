@@ -1,0 +1,67 @@
+"""Table 6 — measurements of the number of page fixes in the buffer.
+
+Same campaign as Tables 4/5, projected onto buffer fixes — the paper's
+CPU-load indicator ("with NSM the entire query 2b program uses more
+than 370,000 page fixes ... about 2.5 hours, whereas the same query was
+executed within at most a quarter hour for the other storage models").
+The report therefore also prints the total fixes of query 2b and the
+estimated response times under the Equation 1 cost weights.
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.benchmark.queries import QUERY_NAMES
+from repro.core.cost import DEFAULT_WEIGHTS, CostWeights
+from repro.experiments.measure import measured_runs, metric_rows
+from repro.experiments.report import render_table
+from repro.models.registry import MEASURED_MODELS
+
+
+def build_rows(config: BenchmarkConfig = DEFAULT_CONFIG) -> list[list[object]]:
+    runs = measured_runs(config, MEASURED_MODELS, QUERY_NAMES)
+    return metric_rows(runs, "page_fixes", QUERY_NAMES)
+
+
+def total_fixes_2b(config: BenchmarkConfig = DEFAULT_CONFIG) -> dict[str, int]:
+    """Total (unnormalised) page fixes of the whole query-2b program."""
+    runs = measured_runs(config, MEASURED_MODELS, QUERY_NAMES)
+    out: dict[str, int] = {}
+    for name, run in runs.items():
+        result = run.results.get("2b")
+        out[name] = 0 if result is None else result.raw.page_fixes
+    return out
+
+
+def estimated_response_ms(
+    config: BenchmarkConfig = DEFAULT_CONFIG,
+    weights: CostWeights = DEFAULT_WEIGHTS,
+) -> dict[str, float]:
+    """Equation-1 response-time proxy of the whole query-2b program."""
+    runs = measured_runs(config, MEASURED_MODELS, QUERY_NAMES)
+    out: dict[str, float] = {}
+    for name, run in runs.items():
+        result = run.results.get("2b")
+        out[name] = 0.0 if result is None else weights.total_cost_of(result.raw)
+    return out
+
+
+def render(config: BenchmarkConfig = DEFAULT_CONFIG) -> str:
+    headers = ["model"] + list(QUERY_NAMES)
+    out = render_table(
+        "Table 6 — measured buffer page fixes",
+        headers,
+        build_rows(config),
+    )
+    fixes = total_fixes_2b(config)
+    times = estimated_response_ms(config)
+    rows = [
+        [name, fixes[name], times[name] / 1000.0]
+        for name in fixes
+    ]
+    out += "\n" + render_table(
+        "Query 2b totals (paper: NSM >370,000 fixes, ~2.5 h on a Sun 3/60)",
+        ["model", "total fixes", "est. response [s]"],
+        rows,
+    )
+    return out

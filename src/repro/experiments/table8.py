@@ -1,0 +1,43 @@
+"""Table 8 — overall qualitative evaluation of the four storage models.
+
+Computed from the measured runs: each cost factor (buffer fixes, join
+effort, I/O calls, I/O pages, total) grades the models from ++ (best)
+to -- (worst).  The module also checks the paper's headline conclusion:
+"DASDBS-NSM seems to be the best and NSM the worst.  Also, DASDBS-DSM
+is ... better than DSM."
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.benchmark.queries import QUERY_NAMES
+from repro.core.ranking import FACTORS, paper_conclusion_holds, rank_models
+from repro.experiments.measure import measured_runs
+from repro.experiments.report import render_table
+from repro.models.registry import MEASURED_MODELS
+
+
+def build_rows(config: BenchmarkConfig = DEFAULT_CONFIG) -> list[list[object]]:
+    runs = measured_runs(config, MEASURED_MODELS, QUERY_NAMES)
+    rows = []
+    for ranking in rank_models(dict(runs)):
+        rows.append([ranking.model] + [ranking.grades[f] for f in FACTORS])
+    return rows
+
+
+def conclusion_holds(config: BenchmarkConfig = DEFAULT_CONFIG) -> bool:
+    runs = measured_runs(config, MEASURED_MODELS, QUERY_NAMES)
+    return paper_conclusion_holds(rank_models(dict(runs)))
+
+
+def render(config: BenchmarkConfig = DEFAULT_CONFIG) -> str:
+    ok = conclusion_holds(config)
+    return render_table(
+        "Table 8 — overall evaluation (++ best .. -- worst)",
+        ["model"] + list(FACTORS),
+        build_rows(config),
+        note=(
+            "Paper conclusion (DASDBS-NSM best, NSM worst, DASDBS-DSM > DSM): "
+            + ("REPRODUCED" if ok else "NOT reproduced")
+        ),
+    )

@@ -1,0 +1,152 @@
+"""Abstract interface of a complex-object storage model.
+
+The four storage models of the paper differ in how a `Station` object is
+fragmented over pages, but they serve the same operations, which are
+exactly what the benchmark queries need:
+
+* bulk load of the database extension,
+* full-object retrieval by physical reference (query 1a) and by key
+  value (query 1b),
+* a full scan (query 1c),
+* set-oriented navigation steps: find the outgoing references of a set
+  of objects, and read the root records of a set of objects (queries
+  2/3),
+* a set-oriented update of root records (query 3).
+
+References are model-specific: the direct models and DASDBS-NSM address
+objects by OID (the paper's 4-byte physical LINK, here the object's
+sequence number resolved through an in-memory address table, whose I/O
+the paper also excludes); plain NSM has no physical identifiers and
+navigates by logical key (``KeyConnection``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Mapping, Sequence
+
+from repro.benchmark.schema import key_of_oid
+from repro.errors import UnsupportedOperationError
+from repro.nf2.serializer import DASDBS_FORMAT, NF2Serializer, StorageFormat
+from repro.nf2.values import NestedTuple
+from repro.storage import StorageEngine
+
+#: A model-specific object reference: an OID or a logical key.
+Ref = int
+
+
+class StorageModel(ABC):
+    """Base class of the four storage models."""
+
+    #: Model name as used in the paper's tables.
+    name: str = "abstract"
+
+    #: Whether query 1a (retrieve by OID) is meaningful for this model.
+    supports_oid_access: bool = True
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        fmt: StorageFormat = DASDBS_FORMAT,
+    ) -> None:
+        self.engine = engine
+        self.format = fmt
+        self.serializer = NF2Serializer(fmt)
+        self.n_objects = 0
+
+    # -- reference handling ------------------------------------------------
+
+    def ref_of(self, oid: int) -> Ref:
+        """Translate an OID into this model's reference type."""
+        return oid
+
+    def all_refs(self) -> list[Ref]:
+        """References of every object, in OID order."""
+        return [self.ref_of(oid) for oid in range(self.n_objects)]
+
+    # -- operations -----------------------------------------------------------
+
+    @abstractmethod
+    def load(self, stations: Sequence[NestedTuple]) -> None:
+        """Bulk-load the extension (OID = position) and flush to disk."""
+
+    @abstractmethod
+    def fetch_full(self, ref: Ref) -> NestedTuple:
+        """Retrieve a whole object by reference (query 1a)."""
+
+    @abstractmethod
+    def fetch_full_by_key(self, key: int) -> NestedTuple:
+        """Retrieve a whole object by key value — a relation scan (1b)."""
+
+    @abstractmethod
+    def scan_all(self) -> int:
+        """Read every object in storage order; returns the count (1c)."""
+
+    @abstractmethod
+    def fetch_refs(self, refs: Sequence[Ref]) -> list[Ref]:
+        """Outgoing references of the given objects, in storage order.
+
+        This is the navigation step: only the parts of the objects that
+        hold references are accessed (``NAVIGATION_PARTS``).
+        """
+
+    @abstractmethod
+    def fetch_roots(self, refs: Sequence[Ref]) -> list[dict[str, Any]]:
+        """Root records (atomic attributes) of the given objects."""
+
+    @abstractmethod
+    def update_roots(self, refs: Sequence[Ref], changes: Mapping[str, Any]) -> None:
+        """Update atomic root attributes of the given objects (query 3).
+
+        ``changes`` must be structure-preserving (same attribute sizes);
+        each model implements its own update protocol (replace whole
+        tuple vs. ``change attribute``, Section 5.3).
+        """
+
+    # -- object lifecycle beyond the benchmark ------------------------------------
+
+    def insert_object(self, station: NestedTuple) -> int:
+        """Add one object to a loaded database; returns its new OID.
+
+        The benchmark itself only bulk-loads, but a usable storage
+        library must support incremental growth; every model keeps its
+        address structures consistent under inserts.
+        """
+        raise self._not_supported("incremental insert")
+
+    def delete_object(self, ref: Ref) -> None:
+        """Remove one object; its references become invalid.
+
+        Pages privately owned by the object are returned to the disk;
+        shared pages keep serving their other tuples.
+        """
+        raise self._not_supported("deletion")
+
+    # -- statistics ---------------------------------------------------------------
+
+    @abstractmethod
+    def relation_pages(self) -> dict[str, int]:
+        """Pages per relation/segment — the parameter ``m`` (Table 2)."""
+
+    def total_pages(self) -> int:
+        """Total allocated pages of this model's representation."""
+        return sum(self.relation_pages().values())
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _not_supported(self, operation: str) -> UnsupportedOperationError:
+        return UnsupportedOperationError(
+            f"storage model {self.name} does not support {operation}"
+        )
+
+    @staticmethod
+    def _dedupe(refs: Sequence[Ref]) -> list[Ref]:
+        """Order-preserving de-duplication of a reference list."""
+        return list(dict.fromkeys(refs))
+
+    @staticmethod
+    def key_of(oid: int) -> int:
+        return key_of_oid(oid)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}: {self.n_objects} objects>"

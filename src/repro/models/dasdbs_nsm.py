@@ -1,0 +1,322 @@
+"""DASDBS-NSM — normalized storage with nesting and an address table.
+
+Section 3.4: the flat NSM relations are re-clustered by *nesting* on the
+root (and parent) foreign keys, so each relation keeps **one** (nested)
+tuple per complex object (Figure 4):
+
+* ``DASDBS_NSM_Station(Key, NoPlatform, NoSeeing, Name)`` — flat root,
+* ``DASDBS_NSM_Platform(RootKey, {(OwnKey, PlatformNr, ...)})``,
+* ``DASDBS_NSM_Connection(RootKey, {(ParentKey, {(LineNr, Key, Oid, Times)})})``,
+* ``DASDBS_NSM_Sightseeing(RootKey, {(SeeingNr, ...)})``.
+
+"It becomes efficient to keep an additional table (index) with a single
+entry per object and a fixed and limited number of addresses in this
+entry" — the *transformation table* mapping an object to the addresses
+of its four tuples.  Like the paper we keep this table in memory and
+charge it no I/O ("we did not account for additional I/Os needed ... to
+retrieve the tables with addresses", Section 5.1).
+
+Navigation touches only the relations it needs: queries 2/3 read the
+Connection tuples (and Station tuples for the root records); the
+Sightseeing relation is never accessed, which is why Figure 5 shows
+DASDBS-NSM's query 2b/3b results independent of the object size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.benchmark.schema import (
+    CONNECTION_SCHEMA,
+    PLATFORM_SCHEMA,
+    SIGHTSEEING_SCHEMA,
+    STATION_SCHEMA,
+)
+from repro.errors import InvalidAddressError, ModelError
+from repro.models.base import Ref, StorageModel
+from repro.models.mixed import MixedTupleStore, TupleHandle
+from repro.nf2.schema import RelationSchema, int_attr, str_attr, link_attr
+from repro.nf2.serializer import DASDBS_FORMAT, StorageFormat
+from repro.nf2.values import NestedTuple
+from repro.storage import StorageEngine
+
+DNSM_STATION = RelationSchema.flat(
+    "DASDBS_NSM_Station",
+    int_attr("Key"),
+    int_attr("NoPlatform"),
+    int_attr("NoSeeing"),
+    str_attr("Name"),
+)
+
+_PLATFORM_ITEM = RelationSchema(
+    "PlatformOfStation",
+    (
+        int_attr("OwnKey"),
+        int_attr("PlatformNr"),
+        int_attr("NoLine"),
+        int_attr("TicketCode"),
+        str_attr("Information"),
+    ),
+)
+
+DNSM_PLATFORM = RelationSchema(
+    "DASDBS_NSM_Platform", (int_attr("RootKey"),), (_PLATFORM_ITEM,)
+)
+
+_CONNECTION_ITEM = RelationSchema(
+    "ConnectionOfPlatform",
+    (
+        int_attr("LineNr"),
+        int_attr("KeyConnection"),
+        link_attr("OidConnection"),
+        str_attr("DepartureTimes"),
+    ),
+)
+
+_CONNECTION_GROUP = RelationSchema(
+    "ConnectionsOfPlatform", (int_attr("ParentKey"),), (_CONNECTION_ITEM,)
+)
+
+DNSM_CONNECTION = RelationSchema(
+    "DASDBS_NSM_Connection", (int_attr("RootKey"),), (_CONNECTION_GROUP,)
+)
+
+_SIGHTSEEING_ITEM = RelationSchema(
+    "SightseeingOfStation",
+    (
+        int_attr("SeeingNr"),
+        str_attr("Description"),
+        str_attr("Location"),
+        str_attr("History"),
+        str_attr("Remarks"),
+    ),
+)
+
+DNSM_SIGHTSEEING = RelationSchema(
+    "DASDBS_NSM_Sightseeing", (int_attr("RootKey"),), (_SIGHTSEEING_ITEM,)
+)
+
+
+class DASDBSNSMModel(StorageModel):
+    """Normalized storage with per-object nesting and address table."""
+
+    name = "DASDBS-NSM"
+
+    def __init__(self, engine: StorageEngine, fmt: StorageFormat = DASDBS_FORMAT) -> None:
+        super().__init__(engine, fmt)
+        self.stations = MixedTupleStore(engine, "DASDBS_NSM_Station", DNSM_STATION, fmt)
+        self.platforms = MixedTupleStore(engine, "DASDBS_NSM_Platform", DNSM_PLATFORM, fmt)
+        self.connections = MixedTupleStore(
+            engine, "DASDBS_NSM_Connection", DNSM_CONNECTION, fmt
+        )
+        self.sightseeings = MixedTupleStore(
+            engine, "DASDBS_NSM_Sightseeing", DNSM_SIGHTSEEING, fmt
+        )
+        #: Transformation table: oid -> handles of the four tuples.
+        self._table: list[tuple[TupleHandle, TupleHandle, TupleHandle, TupleHandle]] = []
+        self._oid_by_key: dict[int, int] = {}
+
+    # -- loading --------------------------------------------------------------
+
+    def load(self, stations: Sequence[NestedTuple]) -> None:
+        if self._table:
+            raise ModelError("model already loaded")
+        for oid, station in enumerate(stations):
+            self._table.append(self._load_one(station))
+            self._oid_by_key[station["Key"]] = oid
+        self.n_objects = len(stations)
+        self.engine.flush()
+
+    def _load_one(self, station: NestedTuple):
+        key = station["Key"]
+        st = NestedTuple(DNSM_STATION, station.atoms())
+        platforms = station.subtuples("Platform")
+        platform_items = [
+            NestedTuple(_PLATFORM_ITEM, {"OwnKey": i, **p.atoms()})
+            for i, p in enumerate(platforms)
+        ]
+        pl = NestedTuple(
+            DNSM_PLATFORM, {"RootKey": key}, {"PlatformOfStation": platform_items}
+        )
+        groups = []
+        for i, platform in enumerate(platforms):
+            items = [
+                NestedTuple(_CONNECTION_ITEM, c.atoms())
+                for c in platform.subtuples("Connection")
+            ]
+            groups.append(
+                NestedTuple(
+                    _CONNECTION_GROUP,
+                    {"ParentKey": i},
+                    {"ConnectionOfPlatform": items},
+                )
+            )
+        co = NestedTuple(
+            DNSM_CONNECTION, {"RootKey": key}, {"ConnectionsOfPlatform": groups}
+        )
+        sight_items = [
+            NestedTuple(_SIGHTSEEING_ITEM, s.atoms())
+            for s in station.subtuples("Sightseeing")
+        ]
+        si = NestedTuple(
+            DNSM_SIGHTSEEING, {"RootKey": key}, {"SightseeingOfStation": sight_items}
+        )
+        return (
+            self.stations.insert(st),
+            self.platforms.insert(pl),
+            self.connections.insert(co),
+            self.sightseeings.insert(si),
+        )
+
+    # -- assembly ----------------------------------------------------------------
+
+    def _assemble(
+        self,
+        st: NestedTuple,
+        pl: NestedTuple,
+        co: NestedTuple,
+        si: NestedTuple,
+    ) -> NestedTuple:
+        conn_by_parent: dict[int, list[NestedTuple]] = {}
+        for group in co.subtuples("ConnectionsOfPlatform"):
+            conn_by_parent[group["ParentKey"]] = [
+                NestedTuple(CONNECTION_SCHEMA, item.atoms())
+                for item in group.subtuples("ConnectionOfPlatform")
+            ]
+        rebuilt_platforms = []
+        for item in sorted(pl.subtuples("PlatformOfStation"), key=lambda r: r["OwnKey"]):
+            atoms = item.atoms()
+            own_key = atoms.pop("OwnKey")
+            rebuilt_platforms.append(
+                NestedTuple(
+                    PLATFORM_SCHEMA, atoms, {"Connection": conn_by_parent.get(own_key, [])}
+                )
+            )
+        sights = [
+            NestedTuple(SIGHTSEEING_SCHEMA, item.atoms())
+            for item in si.subtuples("SightseeingOfStation")
+        ]
+        return NestedTuple(
+            STATION_SCHEMA, st.atoms(), {"Platform": rebuilt_platforms, "Sightseeing": sights}
+        )
+
+    # -- operations ------------------------------------------------------------------
+
+    def _entry(self, oid: int):
+        try:
+            entry = self._table[oid]
+        except IndexError:
+            raise InvalidAddressError(f"no object with oid {oid}") from None
+        if entry is None:
+            raise InvalidAddressError(f"object {oid} has been deleted")
+        return entry
+
+    def fetch_full(self, ref: Ref) -> NestedTuple:
+        st_h, pl_h, co_h, si_h = self._entry(ref)
+        return self._assemble(
+            self.stations.read(st_h),
+            self.platforms.read(pl_h),
+            self.connections.read(co_h),
+            self.sightseeings.read(si_h),
+        )
+
+    def fetch_full_by_key(self, key: int) -> NestedTuple:
+        """Value selection on the root relation, then access by address.
+
+        "With query 1b, only the root tuple of the object is selected
+        based on a value selection, whereupon we use the addresses in
+        the index table to retrieve all other data by address."
+        """
+        found_oid: int | None = None
+        for row in self.stations.scan():
+            if row["Key"] == key:
+                found_oid = self._oid_by_key[key]
+        if found_oid is None:
+            raise InvalidAddressError(f"no station with key {key}")
+        _, pl_h, co_h, si_h = self._entry(found_oid)
+        st_h = self._entry(found_oid)[0]
+        return self._assemble(
+            self.stations.read(st_h),
+            self.platforms.read(pl_h),
+            self.connections.read(co_h),
+            self.sightseeings.read(si_h),
+        )
+
+    def scan_all(self) -> int:
+        stations = {row["Key"]: row for row in self.stations.scan()}
+        platforms = {row["RootKey"]: row for row in self.platforms.scan()}
+        connections = {row["RootKey"]: row for row in self.connections.scan()}
+        sights = {row["RootKey"]: row for row in self.sightseeings.scan()}
+        count = 0
+        for key, st in stations.items():
+            self._assemble(st, platforms[key], connections[key], sights[key])
+            count += 1
+        return count
+
+    def fetch_refs(self, refs: Sequence[Ref]) -> list[Ref]:
+        handles = [self._entry(oid)[2] for oid in refs]
+        out: list[Ref] = []
+        for tuple_ in self.connections.read_many(handles):
+            for group in tuple_.subtuples("ConnectionsOfPlatform"):
+                for item in group.subtuples("ConnectionOfPlatform"):
+                    out.append(item["OidConnection"])
+        return out
+
+    def fetch_roots(self, refs: Sequence[Ref]) -> list[dict[str, Any]]:
+        handles = [self._entry(oid)[0] for oid in refs]
+        return [row.atoms() for row in self.stations.read_many(handles)]
+
+    def update_roots(self, refs: Sequence[Ref], changes: Mapping[str, Any]) -> None:
+        """Replace the (small) root tuples, set-oriented and deferred.
+
+        "With DASDBS-NSM only small root tuples in the
+        DASDBS-NSM-Station relation are updated, of which there are
+        many on a single page."
+        """
+        for oid in self._dedupe(refs):
+            st_h = self._entry(oid)[0]
+            row = self.stations.read(st_h)
+            self.stations.update(st_h, row.replace_atoms(**changes))
+
+    # -- object lifecycle ---------------------------------------------------------------
+
+    def insert_object(self, station: NestedTuple) -> int:
+        oid = len(self._table)
+        self._table.append(self._load_one(station))
+        self._oid_by_key[station["Key"]] = oid
+        self.n_objects = len(self._table)
+        return oid
+
+    def delete_object(self, ref: Ref) -> None:
+        """Delete through the transformation table: four tuple deletes."""
+        entry = self._entry(ref)
+        for store, handle in zip(
+            (self.stations, self.platforms, self.connections, self.sightseeings),
+            entry,
+        ):
+            store.delete(handle)
+        key = next(k for k, oid in self._oid_by_key.items() if oid == ref)
+        del self._oid_by_key[key]
+        self._table[ref] = None
+
+    def all_refs(self) -> list[Ref]:
+        return [oid for oid, entry in enumerate(self._table) if entry is not None]
+
+    # -- statistics -----------------------------------------------------------------------
+
+    def relation_pages(self) -> dict[str, int]:
+        return {
+            "DASDBS_NSM_Station": self.stations.n_pages,
+            "DASDBS_NSM_Platform": self.platforms.n_pages,
+            "DASDBS_NSM_Connection": self.connections.n_pages,
+            "DASDBS_NSM_Sightseeing": self.sightseeings.n_pages,
+        }
+
+
+__all__ = [
+    "DASDBSNSMModel",
+    "DNSM_STATION",
+    "DNSM_PLATFORM",
+    "DNSM_CONNECTION",
+    "DNSM_SIGHTSEEING",
+]

@@ -1,0 +1,43 @@
+"""Addressable parts of a benchmark object.
+
+The queries of the paper project objects: navigation (query 2) needs the
+root attributes and the Platform/Connection sub-tree, the final step of a
+loop only the root attributes.  "While navigating through an object in
+order to find the references to its children, only the attributes/tuples
+that are needed will be projected/selected" (Section 2.2).
+
+Storage models map parts to their physical units: the long-object store
+keeps one *section* per part (the section index equals the part's
+position below), DASDBS-NSM keeps one relation per part.
+"""
+
+from __future__ import annotations
+
+from enum import IntFlag
+
+
+class Parts(IntFlag):
+    """Bit set of object parts; values double as section indexes."""
+
+    ROOT = 1  #: root atomic attributes (section 0)
+    PLATFORMS = 2  #: Platform sub-tree including nested Connections (section 1)
+    SIGHTSEEINGS = 4  #: Sightseeing sub-tree (section 2)
+
+    @property
+    def section_indexes(self) -> list[int]:
+        """Section indexes of the selected parts, in storage order."""
+        indexes = []
+        if Parts.ROOT in self:
+            indexes.append(0)
+        if Parts.PLATFORMS in self:
+            indexes.append(1)
+        if Parts.SIGHTSEEINGS in self:
+            indexes.append(2)
+        return indexes
+
+
+#: All parts — a full object retrieval.
+ALL_PARTS = Parts.ROOT | Parts.PLATFORMS | Parts.SIGHTSEEINGS
+
+#: Parts needed to find a station's outgoing references.
+NAVIGATION_PARTS = Parts.ROOT | Parts.PLATFORMS

@@ -1,0 +1,42 @@
+"""Model registry: build storage models by their paper names."""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.models.base import StorageModel
+from repro.models.dasdbs_dsm import DASDBSDSMModel
+from repro.models.dasdbs_nsm import DASDBSNSMModel
+from repro.models.dsm import DSMModel
+from repro.models.nsm import NSMIndexModel, NSMModel
+from repro.nf2.serializer import DASDBS_FORMAT, StorageFormat
+from repro.storage import StorageEngine
+
+#: The four storage models of Section 3 plus the indexed NSM variant of
+#: Table 3, keyed by the names used in the paper's tables.
+MODEL_CLASSES: dict[str, type[StorageModel]] = {
+    "DSM": DSMModel,
+    "DASDBS-DSM": DASDBSDSMModel,
+    "NSM": NSMModel,
+    "NSM+index": NSMIndexModel,
+    "DASDBS-NSM": DASDBSNSMModel,
+}
+
+#: Models the paper measures in Tables 4-7 (NSM+index is analytical only).
+MEASURED_MODELS = ("DSM", "DASDBS-DSM", "NSM", "DASDBS-NSM")
+
+#: Models that remain after Section 5.3 drops plain NSM from the study.
+FOCUS_MODELS = ("DSM", "DASDBS-DSM", "DASDBS-NSM")
+
+
+def create_model(
+    name: str,
+    engine: StorageEngine,
+    fmt: StorageFormat = DASDBS_FORMAT,
+) -> StorageModel:
+    """Instantiate the storage model called ``name``."""
+    try:
+        cls = MODEL_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CLASSES))
+        raise ModelError(f"unknown storage model {name!r} (known: {known})") from None
+    return cls(engine, fmt)

@@ -1,0 +1,33 @@
+"""Object identifiers and record identifiers.
+
+The paper distinguishes *logical* keys (the ``Key`` attribute), *physical*
+object identifiers (the 4-byte ``OidConnection: LINK`` holding "the address
+of the referred Station"), and tuple addresses inside relations.
+
+We model an :class:`Oid` as a small integer (the object's sequence number
+in the database extension).  Storage models translate an Oid to physical
+page addresses through their own address tables, which — following the
+paper's accounting rule ("we did not account for additional I/Os needed
+to ... retrieve the tables with addresses") — reside in main memory and
+cost no page I/O.  A :class:`Rid` addresses one stored record: a page and
+a slot within that page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NewType
+
+#: Logical object identifier: position of the object in the extension.
+Oid = NewType("Oid", int)
+
+
+@dataclass(frozen=True, order=True)
+class Rid:
+    """Record identifier: (page id, slot number)."""
+
+    page_id: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"Rid({self.page_id}, {self.slot})"

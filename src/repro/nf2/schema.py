@@ -1,0 +1,171 @@
+"""Schema definitions for nested (NF²) relations.
+
+A :class:`RelationSchema` describes a relation whose tuples have a fixed
+list of atomic attributes followed by zero or more relation-valued
+attributes (sub-relations).  This mirrors the benchmark object of the
+paper (Figure 1): ``Station`` has atomic attributes plus the
+``Platform`` and ``Sightseeing`` sub-relations; ``Platform`` in turn
+nests ``Connection``.
+
+Schemas are immutable; building one validates attribute names and types
+eagerly so that downstream code can trust the structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+from repro.errors import SchemaError
+
+
+class AttributeType(Enum):
+    """Atomic attribute types used by the benchmark schema.
+
+    ``INT`` — 4-byte signed integer (paper: "INT, 4 bytes").
+    ``STR`` — fixed-size string (paper: "STR, 100 bytes").
+    ``LINK`` — 4-byte physical reference to another complex object
+    (paper: ``OidConnection: LINK``).
+    """
+
+    INT = "int"
+    STR = "str"
+    LINK = "link"
+
+
+#: Default byte width of each atomic type, as stated in Figure 1.
+DEFAULT_TYPE_SIZES = {
+    AttributeType.INT: 4,
+    AttributeType.STR: 100,
+    AttributeType.LINK: 4,
+}
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single atomic attribute: name, type, and on-disk byte width."""
+
+    name: str
+    type: AttributeType
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+        if self.size == 0:
+            object.__setattr__(self, "size", DEFAULT_TYPE_SIZES[self.type])
+        if self.size <= 0:
+            raise SchemaError(f"attribute {self.name!r} has non-positive size")
+        if self.type in (AttributeType.INT, AttributeType.LINK) and self.size != 4:
+            raise SchemaError(
+                f"attribute {self.name!r}: {self.type.value} attributes are 4 bytes wide"
+            )
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of a nested relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name, unique within its parent.
+    attributes:
+        Atomic attributes of each tuple.
+    subrelations:
+        Relation-valued attributes (nested sub-relations), possibly
+        empty for a flat relation.
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    subrelations: tuple["RelationSchema", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("-", "_").isidentifier():
+            raise SchemaError(f"invalid relation name: {self.name!r}")
+        if not self.attributes and not self.subrelations:
+            raise SchemaError(f"relation {self.name!r} has no attributes at all")
+        seen: set[str] = set()
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise SchemaError(f"duplicate attribute {attr.name!r} in {self.name!r}")
+            seen.add(attr.name)
+        for sub in self.subrelations:
+            if sub.name in seen:
+                raise SchemaError(f"duplicate attribute {sub.name!r} in {self.name!r}")
+            seen.add(sub.name)
+
+    # -- lookups ---------------------------------------------------------
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the atomic attribute called ``name``."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"relation {self.name!r} has no atomic attribute {name!r}")
+
+    def subrelation(self, name: str) -> "RelationSchema":
+        """Return the sub-relation called ``name``."""
+        for sub in self.subrelations:
+            if sub.name == name:
+                return sub
+        raise SchemaError(f"relation {self.name!r} has no sub-relation {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(attr.name == name for attr in self.attributes)
+
+    def has_subrelation(self, name: str) -> bool:
+        return any(sub.name == name for sub in self.subrelations)
+
+    # -- derived properties ---------------------------------------------
+
+    @property
+    def is_flat(self) -> bool:
+        """True for a 1NF relation (no relation-valued attributes)."""
+        return not self.subrelations
+
+    @property
+    def atomic_width(self) -> int:
+        """Sum of the byte widths of the atomic attributes of one tuple."""
+        return sum(attr.size for attr in self.attributes)
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth: 1 for a flat relation."""
+        if self.is_flat:
+            return 1
+        return 1 + max(sub.depth for sub in self.subrelations)
+
+    def walk(self) -> Iterator["RelationSchema"]:
+        """Yield this schema and every nested schema, pre-order."""
+        yield self
+        for sub in self.subrelations:
+            yield from sub.walk()
+
+    def flatten_names(self) -> list[str]:
+        """Names of all (sub-)relations in pre-order; handy for reports."""
+        return [schema.name for schema in self.walk()]
+
+    # -- construction helpers -------------------------------------------
+
+    @staticmethod
+    def flat(name: str, *attributes: Attribute) -> "RelationSchema":
+        """Build a flat (1NF) relation schema."""
+        return RelationSchema(name=name, attributes=tuple(attributes))
+
+
+def int_attr(name: str) -> Attribute:
+    """Shorthand for a 4-byte INT attribute."""
+    return Attribute(name, AttributeType.INT)
+
+
+def str_attr(name: str, size: int = 100) -> Attribute:
+    """Shorthand for a fixed-size STR attribute (default 100 bytes)."""
+    return Attribute(name, AttributeType.STR, size)
+
+
+def link_attr(name: str) -> Attribute:
+    """Shorthand for a 4-byte LINK (object reference) attribute."""
+    return Attribute(name, AttributeType.LINK)

@@ -1,0 +1,98 @@
+"""DASDBS-like storage engine substrate.
+
+Layered as a classical storage system:
+
+* :mod:`repro.storage.disk` — simulated disk with I/O-call accounting,
+* :mod:`repro.storage.buffer` — fixed-capacity buffer manager with
+  pluggable replacement and fix accounting,
+* :mod:`repro.storage.page` — slotted pages,
+* :mod:`repro.storage.segment` — per-relation page collections,
+* :mod:`repro.storage.heap` — small-record storage (several per page),
+* :mod:`repro.storage.longobj` — multi-page objects with the DASDBS
+  header/data page split and section-granular reads,
+* :mod:`repro.storage.metrics` — the counters of Tables 4–6.
+
+:class:`StorageEngine` bundles one disk + buffer + metrics set, the unit
+on which a benchmark database is built.
+"""
+
+from __future__ import annotations
+
+from repro.storage.buffer import BufferManager, make_policy
+from repro.storage.constants import (
+    DEFAULT_BUFFER_PAGES,
+    EFFECTIVE_PAGE_SIZE,
+    PAGE_HEADER_SIZE,
+    PAGE_SIZE,
+    SLOT_ENTRY_SIZE,
+    WRITE_BATCH_MAX,
+)
+from repro.storage.disk import DiskGeometry, SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.longobj import LongObjectAddress, LongObjectStore, ObjectDirectory
+from repro.storage.metrics import MetricsCollector, MetricsSnapshot, ScaledMetrics
+from repro.storage.page import SlottedPage
+from repro.storage.segment import Segment
+
+
+class StorageEngine:
+    """One disk + buffer + metrics bundle.
+
+    Convenience facade used by the storage models and the benchmark
+    runner: it owns the metrics collector and hands out segments.
+    """
+
+    def __init__(
+        self,
+        page_size: int = PAGE_SIZE,
+        buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        policy: str = "lru",
+    ) -> None:
+        self.metrics = MetricsCollector()
+        self.disk = SimulatedDisk(page_size=page_size, metrics=self.metrics)
+        self.buffer = BufferManager(self.disk, capacity=buffer_pages, policy=policy)
+        self.page_size = page_size
+
+    def new_segment(self, name: str) -> Segment:
+        """Create a fresh segment (one relation / object store)."""
+        return Segment(name, self.disk, self.buffer)
+
+    def new_heap(self, name: str) -> HeapFile:
+        """Create a heap file over a fresh segment."""
+        return HeapFile(self.new_segment(name))
+
+    def flush(self) -> None:
+        """Write back all dirty pages (database disconnect)."""
+        self.buffer.flush()
+
+    def reset_metrics(self) -> None:
+        """Zero the counters (e.g. after bulk load, before a query)."""
+        self.metrics.reset()
+
+    def restart_buffer(self) -> None:
+        """Flush and empty the buffer: the next query starts cold."""
+        self.buffer.clear()
+
+
+__all__ = [
+    "BufferManager",
+    "DiskGeometry",
+    "HeapFile",
+    "LongObjectAddress",
+    "LongObjectStore",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "ObjectDirectory",
+    "ScaledMetrics",
+    "Segment",
+    "SimulatedDisk",
+    "SlottedPage",
+    "StorageEngine",
+    "make_policy",
+    "DEFAULT_BUFFER_PAGES",
+    "EFFECTIVE_PAGE_SIZE",
+    "PAGE_HEADER_SIZE",
+    "PAGE_SIZE",
+    "SLOT_ENTRY_SIZE",
+    "WRITE_BATCH_MAX",
+]

@@ -1,0 +1,149 @@
+"""Heap files: slotted-page storage for records that fit on one page.
+
+A heap file stores small tuples, several per page (the parameter ``k``
+of the cost model).  Bulk loading appends records back to back, so the
+tuples of one object form a physical cluster — the layout assumed by
+Equations 6 and 7 ("tuples that belong to the same root or parent are
+likely to be stored clustered together").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import PageOverflowError, StorageError
+from repro.nf2.oid import Rid
+from repro.storage.page import SlottedPage
+from repro.storage.segment import Segment
+
+
+class HeapFile:
+    """Record storage over a segment of slotted pages."""
+
+    def __init__(self, segment: Segment) -> None:
+        self.segment = segment
+        self.buffer = segment.buffer
+        self.page_size = segment.disk.page_size
+
+    # -- writing ---------------------------------------------------------------
+
+    def insert(self, record: bytes) -> Rid:
+        """Append a record, filling the current last page first.
+
+        Records never span pages ("The tuples themselves do not span
+        disk pages", Section 3.3); a record larger than one page is an
+        error — large objects belong in the long-object store.
+        """
+        if len(record) > SlottedPage.max_record_size(self.page_size):
+            raise StorageError(
+                f"record of {len(record)} bytes exceeds the page capacity; "
+                "use LongObjectStore for multi-page objects"
+            )
+        page_id = self.segment.last_page()
+        if page_id is not None:
+            data = self.buffer.fix(page_id)
+            page = SlottedPage(data, self.page_size)
+            try:
+                slot = page.insert(record)
+            except PageOverflowError:
+                self.buffer.unfix(page_id)
+            else:
+                self.buffer.unfix(page_id, dirty=True)
+                return Rid(page_id, slot)
+        page_id = self.segment.allocate_page()
+        page = SlottedPage(self.buffer.page_data(page_id), self.page_size)
+        slot = page.insert(record)
+        self.buffer.unfix(page_id, dirty=True)
+        return Rid(page_id, slot)
+
+    def update(self, rid: Rid, record: bytes, write_through: bool = False) -> None:
+        """Replace the record at ``rid``.
+
+        With ``write_through`` the modified page is written to disk
+        immediately in its own call — the DASDBS page-pool behaviour of
+        the ``change attribute`` operation (Section 5.3).  Otherwise the
+        page is only marked dirty and written back on flush/eviction.
+        """
+        self._require_page(rid.page_id)
+        data = self.buffer.fix(rid.page_id)
+        try:
+            page = SlottedPage(data, self.page_size)
+            page.update(rid.slot, record)
+        finally:
+            self.buffer.unfix(rid.page_id, dirty=True)
+        if write_through:
+            self.buffer.write_through(rid.page_id)
+
+    def delete(self, rid: Rid) -> None:
+        """Delete the record at ``rid``."""
+        self._require_page(rid.page_id)
+        data = self.buffer.fix(rid.page_id)
+        try:
+            page = SlottedPage(data, self.page_size)
+            page.delete(rid.slot)
+        finally:
+            self.buffer.unfix(rid.page_id, dirty=True)
+
+    # -- reading -----------------------------------------------------------------
+
+    def read(self, rid: Rid) -> bytes:
+        """Read one record by record id (one page fix)."""
+        self._require_page(rid.page_id)
+        data = self.buffer.fix(rid.page_id)
+        try:
+            page = SlottedPage(data, self.page_size)
+            return page.read(rid.slot)
+        finally:
+            self.buffer.unfix(rid.page_id)
+
+    def read_many(self, rids: list[Rid]) -> list[bytes]:
+        """Read several records; all missing pages load in one I/O call.
+
+        This is DASDBS's set-oriented record access: the page set of
+        the record list is fetched together.
+        """
+        unique_pages = list(dict.fromkeys(rid.page_id for rid in rids))
+        for page_id in unique_pages:
+            self._require_page(page_id)
+        frames = self.buffer.fix_many(unique_pages)
+        try:
+            out: list[bytes] = []
+            for rid in rids:
+                page = SlottedPage(frames[rid.page_id], self.page_size)
+                out.append(page.read(rid.slot))
+            return out
+        finally:
+            for page_id in unique_pages:
+                self.buffer.unfix(page_id)
+
+    def scan(self) -> Iterator[tuple[Rid, bytes]]:
+        """Full scan in page order; each page is fixed exactly once."""
+        for page_id in self.segment.page_ids:
+            data = self.buffer.fix(page_id)
+            try:
+                page = SlottedPage(data, self.page_size)
+                records = list(page.records())
+            finally:
+                self.buffer.unfix(page_id)
+            for slot, record in records:
+                yield Rid(page_id, slot), record
+
+    def scan_filter(self, predicate: Callable[[bytes], bool]) -> list[tuple[Rid, bytes]]:
+        """Full scan returning only records matching ``predicate``."""
+        return [(rid, record) for rid, record in self.scan() if predicate(record)]
+
+    # -- statistics -----------------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        return self.segment.n_pages
+
+    def count_records(self) -> int:
+        """Number of live records (costs a full scan's fixes)."""
+        return sum(1 for _ in self.scan())
+
+    def _require_page(self, page_id: int) -> None:
+        if page_id not in self.segment:
+            raise StorageError(
+                f"page {page_id} does not belong to segment {self.segment.name!r}"
+            )

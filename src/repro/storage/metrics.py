@@ -1,0 +1,162 @@
+"""I/O and buffer accounting.
+
+The paper's evaluation counts four quantities (Sections 3 and 5):
+
+* ``X_IO_pages`` — physical pages read or written (Table 4),
+* ``X_IO_calls`` — I/O calls used to transfer those pages (Table 5),
+* page *fixes* in the buffer, an indicator of CPU load (Table 6),
+* and, from these, the weighted disk cost of Equation 1.
+
+A single :class:`MetricsCollector` is shared by the disk and the buffer
+manager of one engine instance.  :class:`MetricsSnapshot` is an immutable
+copy; subtracting two snapshots yields the cost of the work between them,
+which is how the benchmark runner isolates one query's cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable counter values at one instant."""
+
+    read_calls: int = 0
+    write_calls: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    page_fixes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    evictions: int = 0
+
+    def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        return MetricsSnapshot(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __add__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        return MetricsSnapshot(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, divisor: float) -> "ScaledMetrics":
+        """Per-object / per-loop normalisation used throughout the paper."""
+        if divisor <= 0:
+            raise ValueError("divisor must be positive")
+        return ScaledMetrics(
+            read_calls=self.read_calls / divisor,
+            write_calls=self.write_calls / divisor,
+            pages_read=self.pages_read / divisor,
+            pages_written=self.pages_written / divisor,
+            page_fixes=self.page_fixes / divisor,
+            buffer_hits=self.buffer_hits / divisor,
+            buffer_misses=self.buffer_misses / divisor,
+            evictions=self.evictions / divisor,
+        )
+
+    @property
+    def io_pages(self) -> int:
+        """Total physical pages transferred (reads + writes)."""
+        return self.pages_read + self.pages_written
+
+    @property
+    def io_calls(self) -> int:
+        """Total I/O calls issued (reads + writes)."""
+        return self.read_calls + self.write_calls
+
+
+@dataclass(frozen=True)
+class ScaledMetrics:
+    """Counters divided by a normalisation factor (floats)."""
+
+    read_calls: float
+    write_calls: float
+    pages_read: float
+    pages_written: float
+    page_fixes: float
+    buffer_hits: float
+    buffer_misses: float
+    evictions: float
+
+    @property
+    def io_pages(self) -> float:
+        return self.pages_read + self.pages_written
+
+    @property
+    def io_calls(self) -> float:
+        return self.read_calls + self.write_calls
+
+
+class MetricsCollector:
+    """Mutable counters incremented by the disk and buffer manager."""
+
+    __slots__ = (
+        "read_calls",
+        "write_calls",
+        "pages_read",
+        "pages_written",
+        "page_fixes",
+        "buffer_hits",
+        "buffer_misses",
+        "evictions",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.read_calls = 0
+        self.write_calls = 0
+        self.pages_read = 0
+        self.pages_written = 0
+        self.page_fixes = 0
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+        self.evictions = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_read_call(self, n_pages: int) -> None:
+        if n_pages <= 0:
+            raise ValueError("a read call transfers at least one page")
+        self.read_calls += 1
+        self.pages_read += n_pages
+
+    def record_write_call(self, n_pages: int) -> None:
+        if n_pages <= 0:
+            raise ValueError("a write call transfers at least one page")
+        self.write_calls += 1
+        self.pages_written += n_pages
+
+    def record_fix(self, hit: bool) -> None:
+        self.page_fixes += 1
+        if hit:
+            self.buffer_hits += 1
+        else:
+            self.buffer_misses += 1
+
+    def record_eviction(self) -> None:
+        self.evictions += 1
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Copy the current counter values."""
+        return MetricsSnapshot(
+            read_calls=self.read_calls,
+            write_calls=self.write_calls,
+            pages_read=self.pages_read,
+            pages_written=self.pages_written,
+            page_fixes=self.page_fixes,
+            buffer_hits=self.buffer_hits,
+            buffer_misses=self.buffer_misses,
+            evictions=self.evictions,
+        )

@@ -1,0 +1,192 @@
+"""Slotted pages.
+
+A page is a fixed-size byte array with a 36-byte header (matching the
+DASDBS configuration), a record area growing from the front, and a slot
+directory growing from the back.  Records are addressed by slot number,
+so they can move within the page (compaction) without invalidating
+record ids.
+
+Layout::
+
+    [magic u16][n_slots u16][free_start u16][pad .. 36]
+    [record area ->                ...          <- slot directory]
+
+Each slot-directory entry is 4 bytes: ``offset u16, length u16``.
+``offset == 0xFFFF`` marks a deleted slot.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import InvalidAddressError, PageOverflowError, StorageError
+from repro.storage.constants import PAGE_HEADER_SIZE, PAGE_SIZE, SLOT_ENTRY_SIZE
+
+_MAGIC = 0x5E1F
+_TOMBSTONE = 0xFFFF
+_HEADER_FMT = "<HHH"
+
+
+class SlottedPage:
+    """A mutable view over one page buffer.
+
+    The view reads and writes the underlying ``bytearray`` in place, so
+    a page fixed in the buffer manager can be edited and the frame
+    marked dirty afterwards.
+    """
+
+    __slots__ = ("data", "page_size")
+
+    def __init__(self, data: bytearray, page_size: int = PAGE_SIZE) -> None:
+        if len(data) != page_size:
+            raise StorageError(f"page buffer of {len(data)} bytes, expected {page_size}")
+        self.data = data
+        self.page_size = page_size
+        magic, _, _ = struct.unpack_from(_HEADER_FMT, data, 0)
+        if magic != _MAGIC:
+            self.format()
+
+    # -- header access -------------------------------------------------------
+
+    def format(self) -> None:
+        """Initialise an empty page."""
+        self.data[:PAGE_HEADER_SIZE] = bytes(PAGE_HEADER_SIZE)
+        struct.pack_into(_HEADER_FMT, self.data, 0, _MAGIC, 0, PAGE_HEADER_SIZE)
+
+    @property
+    def n_slots(self) -> int:
+        return struct.unpack_from(_HEADER_FMT, self.data, 0)[1]
+
+    @property
+    def _free_start(self) -> int:
+        return struct.unpack_from(_HEADER_FMT, self.data, 0)[2]
+
+    def _set_header(self, n_slots: int, free_start: int) -> None:
+        struct.pack_into(_HEADER_FMT, self.data, 0, _MAGIC, n_slots, free_start)
+
+    def _slot_pos(self, slot: int) -> int:
+        return self.page_size - (slot + 1) * SLOT_ENTRY_SIZE
+
+    def _slot(self, slot: int) -> tuple[int, int]:
+        if not 0 <= slot < self.n_slots:
+            raise InvalidAddressError(f"slot {slot} out of range (page has {self.n_slots})")
+        return struct.unpack_from("<HH", self.data, self._slot_pos(slot))
+
+    def _set_slot(self, slot: int, offset: int, length: int) -> None:
+        struct.pack_into("<HH", self.data, self._slot_pos(slot), offset, length)
+
+    # -- space accounting ------------------------------------------------------
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for a new record (its slot entry included)."""
+        directory_start = self.page_size - self.n_slots * SLOT_ENTRY_SIZE
+        gap = directory_start - self._free_start
+        return max(0, gap - SLOT_ENTRY_SIZE)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of live records currently stored."""
+        total = 0
+        for slot in range(self.n_slots):
+            offset, length = self._slot(slot)
+            if offset != _TOMBSTONE:
+                total += length
+        return total
+
+    @staticmethod
+    def max_record_size(page_size: int = PAGE_SIZE) -> int:
+        """Largest record a single empty page can hold."""
+        return page_size - PAGE_HEADER_SIZE - SLOT_ENTRY_SIZE
+
+    # -- record operations -------------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Insert a record and return its slot number."""
+        if len(record) > self.free_space:
+            raise PageOverflowError(
+                f"record of {len(record)} bytes does not fit ({self.free_space} free)"
+            )
+        if len(record) >= _TOMBSTONE:
+            raise StorageError("record too large for a 16-bit slot length")
+        n_slots = self.n_slots
+        free_start = self._free_start
+        self.data[free_start : free_start + len(record)] = record
+        self._set_header(n_slots + 1, free_start + len(record))
+        self._set_slot(n_slots, free_start, len(record))
+        return n_slots
+
+    def read(self, slot: int) -> bytes:
+        """Return a copy of the record in ``slot``."""
+        offset, length = self._slot(slot)
+        if offset == _TOMBSTONE:
+            raise InvalidAddressError(f"slot {slot} is deleted")
+        return bytes(self.data[offset : offset + length])
+
+    def update(self, slot: int, record: bytes) -> None:
+        """Replace the record in ``slot``.
+
+        Same-size (or smaller) records are replaced in place; larger
+        records are re-appended if the page has room, otherwise
+        :class:`PageOverflowError` is raised (the storage models of the
+        paper only perform structure-preserving, size-preserving
+        updates, but the general case is supported for completeness).
+        """
+        offset, length = self._slot(slot)
+        if offset == _TOMBSTONE:
+            raise InvalidAddressError(f"slot {slot} is deleted")
+        if len(record) <= length:
+            self.data[offset : offset + len(record)] = record
+            self._set_slot(slot, offset, len(record))
+            return
+        # Need to relocate: tombstone the old copy, then append.
+        if len(record) > self.free_space + SLOT_ENTRY_SIZE:
+            self.compact(skip_slot=slot)
+            if len(record) > self.free_space + SLOT_ENTRY_SIZE:
+                raise PageOverflowError(
+                    f"updated record of {len(record)} bytes does not fit in page"
+                )
+        free_start = self._free_start
+        self.data[free_start : free_start + len(record)] = record
+        self._set_header(self.n_slots, free_start + len(record))
+        self._set_slot(slot, free_start, len(record))
+
+    def delete(self, slot: int) -> None:
+        """Delete the record in ``slot`` (the slot number is not reused)."""
+        offset, _ = self._slot(slot)
+        if offset == _TOMBSTONE:
+            raise InvalidAddressError(f"slot {slot} is already deleted")
+        self._set_slot(slot, _TOMBSTONE, 0)
+
+    def compact(self, skip_slot: int | None = None) -> None:
+        """Slide live records together to defragment the record area."""
+        records: list[tuple[int, bytes]] = []
+        for slot in range(self.n_slots):
+            if slot == skip_slot:
+                continue
+            offset, length = self._slot(slot)
+            if offset != _TOMBSTONE:
+                records.append((slot, bytes(self.data[offset : offset + length])))
+        pos = PAGE_HEADER_SIZE
+        for slot, record in records:
+            self.data[pos : pos + len(record)] = record
+            self._set_slot(slot, pos, len(record))
+            pos += len(record)
+        if skip_slot is not None:
+            self._set_slot(skip_slot, pos, 0)
+        self._set_header(self.n_slots, pos)
+
+    # -- iteration ------------------------------------------------------------------
+
+    def records(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(slot, record)`` for every live record."""
+        for slot in range(self.n_slots):
+            offset, length = self._slot(slot)
+            if offset != _TOMBSTONE:
+                yield slot, bytes(self.data[offset : offset + length])
+
+    @property
+    def live_records(self) -> int:
+        """Number of non-deleted records."""
+        return sum(1 for _ in self.records())

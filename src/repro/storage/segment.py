@@ -1,0 +1,79 @@
+"""Segments: named, ordered collections of pages backing one relation.
+
+A segment is the unit the paper scans ("the m pages that store the
+entire (nested) relation"): its page count is the parameter ``m`` of
+the cost model.  Pages are appended in allocation order, which gives
+clustered relations the sequential layout Equations 6/7 assume.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidAddressError
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import SimulatedDisk
+
+
+class Segment:
+    """An append-only list of pages owned by one relation or store."""
+
+    def __init__(self, name: str, disk: SimulatedDisk, buffer: BufferManager) -> None:
+        self.name = name
+        self.disk = disk
+        self.buffer = buffer
+        self._page_ids: list[int] = []
+        self._page_set: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._page_ids)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._page_set
+
+    @property
+    def page_ids(self) -> list[int]:
+        """Page ids in allocation order (a copy)."""
+        return list(self._page_ids)
+
+    @property
+    def n_pages(self) -> int:
+        """The cost-model parameter ``m`` for this relation."""
+        return len(self._page_ids)
+
+    def page_at(self, index: int) -> int:
+        try:
+            return self._page_ids[index]
+        except IndexError:
+            raise InvalidAddressError(
+                f"segment {self.name!r} has no page index {index}"
+            ) from None
+
+    def allocate_page(self) -> int:
+        """Allocate a fresh page on disk and register it.
+
+        The new page is created directly in the buffer (dirty, fixed
+        once); the caller must unfix it.  No read I/O is charged.
+        """
+        page_id = self.disk.allocate()
+        self._page_ids.append(page_id)
+        self._page_set.add(page_id)
+        self.buffer.new_page(page_id)
+        return page_id
+
+    def last_page(self) -> int | None:
+        """Id of the most recently allocated page, or None if empty."""
+        return self._page_ids[-1] if self._page_ids else None
+
+    def release_page(self, page_id: int) -> None:
+        """Remove a page from the segment and free it on disk.
+
+        Used when a deleted long object returns its private pages.  The
+        page must not be fixed; any cached frame is discarded unwritten.
+        """
+        if page_id not in self._page_set:
+            raise InvalidAddressError(
+                f"page {page_id} does not belong to segment {self.name!r}"
+            )
+        self.buffer.discard(page_id)
+        self._page_ids.remove(page_id)
+        self._page_set.discard(page_id)
+        self.disk.free(page_id)

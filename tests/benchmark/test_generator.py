@@ -1,0 +1,157 @@
+"""Unit and property tests for the benchmark generator and statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG, SKEWED_CONFIG
+from repro.benchmark.generator import child_oids, generate_stations, total_connections
+from repro.benchmark.schema import KEY_BASE, STATION_SCHEMA
+from repro.benchmark.stats import DatabaseStatistics
+from repro.errors import BenchmarkError
+
+
+class TestConfig:
+    def test_default_matches_paper(self):
+        assert DEFAULT_CONFIG.n_objects == 1500
+        assert DEFAULT_CONFIG.fanout == 2
+        assert DEFAULT_CONFIG.probability == 0.8
+        assert DEFAULT_CONFIG.max_sightseeing == 15
+        assert DEFAULT_CONFIG.buffer_pages == 1200
+
+    def test_loops_default_is_fifth_of_size(self):
+        assert DEFAULT_CONFIG.effective_loops == 300
+        assert DEFAULT_CONFIG.with_changes(n_objects=100).effective_loops == 20
+
+    def test_explicit_loops(self):
+        assert DEFAULT_CONFIG.with_changes(loops=42).effective_loops == 42
+
+    def test_expected_children_formula(self):
+        """(fanout·p)³ = 4.096 for the default and the skew setting."""
+        assert DEFAULT_CONFIG.expected_children == pytest.approx(4.096)
+        assert SKEWED_CONFIG.expected_children == pytest.approx(4.096)
+
+    def test_expected_platforms(self):
+        assert DEFAULT_CONFIG.expected_platforms == pytest.approx(1.6)
+        assert SKEWED_CONFIG.expected_platforms == pytest.approx(1.6)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(BenchmarkError):
+            BenchmarkConfig(n_objects=0)
+        with pytest.raises(BenchmarkError):
+            BenchmarkConfig(probability=1.5)
+        with pytest.raises(BenchmarkError):
+            BenchmarkConfig(fanout=-1)
+        with pytest.raises(BenchmarkError):
+            BenchmarkConfig(max_sightseeing=-1)
+        with pytest.raises(BenchmarkError):
+            BenchmarkConfig(loops=0)
+
+
+class TestGeneration:
+    def test_deterministic_in_seed(self):
+        cfg = BenchmarkConfig(n_objects=20, seed=3)
+        assert generate_stations(cfg) == generate_stations(cfg)
+
+    def test_different_seeds_differ(self):
+        a = generate_stations(BenchmarkConfig(n_objects=20, seed=1))
+        b = generate_stations(BenchmarkConfig(n_objects=20, seed=2))
+        assert a != b
+
+    def test_object_count(self):
+        assert len(generate_stations(BenchmarkConfig(n_objects=17))) == 17
+
+    def test_keys_are_oid_based(self):
+        stations = generate_stations(BenchmarkConfig(n_objects=5))
+        assert [s["Key"] for s in stations] == [KEY_BASE + i for i in range(5)]
+
+    def test_schema_conformance(self):
+        for station in generate_stations(BenchmarkConfig(n_objects=10)):
+            assert station.schema is STATION_SCHEMA
+            assert station["NoPlatform"] == len(station.subtuples("Platform"))
+            assert station["NoSeeing"] == len(station.subtuples("Sightseeing"))
+
+    def test_bounds_respected(self):
+        cfg = BenchmarkConfig(n_objects=200, seed=11)
+        stats = DatabaseStatistics.from_stations(generate_stations(cfg))
+        assert stats.max_platforms <= cfg.fanout
+        assert stats.max_connections <= cfg.fanout**3  # fanout platforms × fanout² conns
+        assert stats.max_sightseeings <= cfg.max_sightseeing
+
+    def test_references_in_range(self):
+        cfg = BenchmarkConfig(n_objects=50, seed=13)
+        for station in generate_stations(cfg):
+            for oid in child_oids(station):
+                assert 0 <= oid < cfg.n_objects
+
+    def test_key_and_oid_references_consistent(self):
+        cfg = BenchmarkConfig(n_objects=30, seed=17)
+        for station in generate_stations(cfg):
+            for platform in station.subtuples("Platform"):
+                for conn in platform.subtuples("Connection"):
+                    assert conn["KeyConnection"] == KEY_BASE + conn["OidConnection"]
+
+    def test_averages_near_paper_values(self):
+        """Section 5.1: 1.59 platforms, 4.04 connections, 7.64 sights."""
+        stats = DatabaseStatistics.from_stations(generate_stations(DEFAULT_CONFIG))
+        assert stats.avg_platforms == pytest.approx(1.6, abs=0.1)
+        assert stats.avg_connections == pytest.approx(4.096, abs=0.35)
+        assert stats.avg_sightseeings == pytest.approx(7.5, abs=0.5)
+
+    def test_skew_preserves_means_raises_maxima(self):
+        """Section 5.5: similar averages, larger maxima under skew."""
+        cfg = SKEWED_CONFIG.with_changes(n_objects=800)
+        base = DatabaseStatistics.from_stations(
+            generate_stations(DEFAULT_CONFIG.with_changes(n_objects=800))
+        )
+        skew = DatabaseStatistics.from_stations(generate_stations(cfg))
+        assert skew.avg_connections == pytest.approx(base.avg_connections, rel=0.25)
+        assert skew.max_connections > base.max_connections
+
+    def test_zero_probability_no_children(self):
+        cfg = BenchmarkConfig(n_objects=10, probability=0.0)
+        assert total_connections(generate_stations(cfg)) == 0
+
+    def test_full_probability_max_children(self):
+        cfg = BenchmarkConfig(n_objects=10, probability=1.0)
+        stations = generate_stations(cfg)
+        assert total_connections(stations) == 10 * cfg.fanout**3
+
+
+class TestStatistics:
+    def test_totals_consistent(self):
+        stations = generate_stations(BenchmarkConfig(n_objects=40, seed=23))
+        stats = DatabaseStatistics.from_stations(stations)
+        assert stats.total_connections == total_connections(stations)
+        assert stats.avg_children == stats.avg_connections
+        assert stats.avg_grandchildren == pytest.approx(stats.avg_connections**2)
+
+    def test_avg_object_size_positive(self):
+        from repro.nf2.serializer import DASDBS_FORMAT
+
+        stations = generate_stations(BenchmarkConfig(n_objects=10))
+        stats = DatabaseStatistics.from_stations(stations)
+        size = stats.avg_object_size(DASDBS_FORMAT, stations)
+        assert size > 500
+
+
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+    prob=st.floats(min_value=0.0, max_value=1.0),
+    fanout=st.integers(min_value=0, max_value=4),
+    max_sight=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_generator_always_valid(n, seed, prob, fanout, max_sight):
+    """Any configuration yields schema-conform, in-range extensions."""
+    cfg = BenchmarkConfig(
+        n_objects=n, seed=seed, probability=prob, fanout=fanout, max_sightseeing=max_sight
+    )
+    stations = generate_stations(cfg)
+    assert len(stations) == n
+    for station in stations:
+        assert len(station.subtuples("Platform")) <= fanout
+        assert len(station.subtuples("Sightseeing")) <= max_sight
+        for oid in child_oids(station):
+            assert 0 <= oid < n

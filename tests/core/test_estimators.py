@@ -1,0 +1,176 @@
+"""Regression tests: the estimators reproduce the legible Table 3 anchors.
+
+The printed Table 3 is partly OCR-garbled; DESIGN.md lists the cells that
+are clearly legible.  These are the ground truth the analytical model
+must reproduce when run on the paper's Table 2 parameters.
+"""
+
+import pytest
+
+from repro.benchmark.config import DEFAULT_CONFIG
+from repro.core.estimators import QUERIES, AnalyticalEvaluator
+from repro.core.parameters import (
+    StructureCounts,
+    WorkloadParameters,
+    derive_parameters,
+    paper_parameters,
+)
+from repro.errors import BenchmarkError
+from repro.experiments.table3 import PAPER_ANCHORS, PAPER_KNOWN_DEVIATIONS
+
+
+@pytest.fixture(scope="module")
+def paper_evaluator():
+    workload = WorkloadParameters(n_objects=1500, children=4.096, loops=300)
+    return AnalyticalEvaluator(paper_parameters(), workload)
+
+
+@pytest.fixture(scope="module")
+def derived_evaluator():
+    workload = WorkloadParameters.from_config(DEFAULT_CONFIG)
+    return AnalyticalEvaluator(derive_parameters(DEFAULT_CONFIG), workload)
+
+
+class TestPaperAnchors:
+    @pytest.mark.parametrize("anchor", sorted(PAPER_ANCHORS), ids=lambda a: f"{a[0]}-{a[1]}")
+    def test_anchor_cell(self, paper_evaluator, anchor):
+        (label, query) = anchor
+        primed = label.endswith("'")
+        model = label.rstrip("'")
+        value = paper_evaluator.estimate(model, query, primed=primed)
+        expected = PAPER_ANCHORS[anchor]
+        assert value == pytest.approx(expected, rel=0.08), (
+            f"{label} / query {query}: estimated {value}, paper prints {expected}"
+        )
+
+    @pytest.mark.parametrize(
+        "anchor", sorted(PAPER_KNOWN_DEVIATIONS), ids=lambda a: f"{a[0]}-{a[1]}"
+    )
+    def test_known_deviation_within_envelope(self, paper_evaluator, anchor):
+        """Deliberate convention differences stay within their envelope."""
+        (label, query) = anchor
+        expected, tolerance = PAPER_KNOWN_DEVIATIONS[anchor]
+        value = paper_evaluator.estimate(label.rstrip("'"), query, primed=label.endswith("'"))
+        assert value == pytest.approx(expected, rel=tolerance)
+
+    def test_dsm_row_tight(self, paper_evaluator):
+        """The fully legible DSM row reproduces to within 1%."""
+        expected = {"1a": 4.00, "1b": 6000, "1c": 4.00, "2a": 86.9, "2b": 19.7, "3a": 154, "3b": 39.1}
+        for query, value in expected.items():
+            assert paper_evaluator.estimate("DSM", query) == pytest.approx(value, rel=0.01)
+
+
+class TestStructuralProperties:
+    def test_nsm_1a_not_applicable(self, paper_evaluator):
+        assert paper_evaluator.estimate("NSM", "1a") is None
+
+    def test_unknown_model_rejected(self, paper_evaluator):
+        with pytest.raises(BenchmarkError):
+            paper_evaluator.estimate("XSM", "1a")
+
+    def test_unknown_query_rejected(self, paper_evaluator):
+        with pytest.raises(BenchmarkError):
+            paper_evaluator.estimate("DSM", "9z")
+
+    def test_primed_never_worse(self, paper_evaluator):
+        """Removing wasted space can only reduce page transfers."""
+        for model in ("DSM", "DASDBS-DSM", "NSM", "NSM+index", "DASDBS-NSM"):
+            for query in QUERIES:
+                base = paper_evaluator.estimate(model, query)
+                primed = paper_evaluator.estimate(model, query, primed=True)
+                if base is None:
+                    assert primed is None
+                else:
+                    assert primed <= base + 1e-9
+
+    def test_worst_case_is_single_loop_estimate(self, paper_evaluator):
+        assert paper_evaluator.estimate("DSM", "2b", worst=True) == paper_evaluator.estimate(
+            "DSM", "2a"
+        )
+        assert paper_evaluator.estimate("DSM", "3b", worst=True) == paper_evaluator.estimate(
+            "DSM", "3a"
+        )
+
+    def test_worst_case_dominates_best_case(self, paper_evaluator):
+        for model in ("DSM", "DASDBS-DSM", "DASDBS-NSM"):
+            best = paper_evaluator.estimate(model, "2b")
+            worst = paper_evaluator.estimate(model, "2b", worst=True)
+            assert worst > best
+
+    def test_query3_dominates_query2(self, paper_evaluator):
+        for model in ("DSM", "DASDBS-DSM", "NSM", "DASDBS-NSM"):
+            assert paper_evaluator.estimate(model, "3a") >= paper_evaluator.estimate(model, "2a")
+
+    def test_paper_orderings(self, paper_evaluator):
+        """Section 6: normalized models beat direct ones on navigation;
+        DASDBS-DSM beats DSM; plain NSM is hopeless for selective access."""
+        e = paper_evaluator.estimate
+        assert e("DASDBS-DSM", "2a") < e("DSM", "2a")
+        assert e("DASDBS-NSM", "2a") < e("DASDBS-DSM", "2a")
+        assert e("NSM", "1b") > e("DASDBS-NSM", "1b") * 10
+
+    def test_dasdbs_dsm_update_penalty(self, paper_evaluator):
+        """Per-loop write cost of DASDBS-DSM exceeds DSM's amortised one."""
+        ddsm_writes = paper_evaluator.estimate("DASDBS-DSM", "3b") - paper_evaluator.estimate(
+            "DASDBS-DSM", "2b"
+        )
+        dsm_writes = paper_evaluator.estimate("DSM", "3b") - paper_evaluator.estimate("DSM", "2b")
+        assert ddsm_writes > dsm_writes * 0.8  # pool writes ≈ whole-object writes at scale
+
+
+class TestDerivedModeConsistency:
+    def test_estimates_exist_for_all_models_queries(self, derived_evaluator):
+        for model in ("DSM", "DASDBS-DSM", "NSM", "NSM+index", "DASDBS-NSM"):
+            for query in QUERIES:
+                value = derived_evaluator.estimate(model, query)
+                if model == "NSM" and query == "1a":
+                    assert value is None
+                else:
+                    assert value is not None and value >= 0
+
+    def test_derived_close_to_paper_mode(self, paper_evaluator, derived_evaluator):
+        """Our calibrated format lands near the paper's constants."""
+        for model, query, tolerance in (
+            ("DSM", "2a", 0.05),
+            ("DASDBS-DSM", "2b", 0.05),
+            ("DASDBS-NSM", "2a", 0.10),
+            ("NSM+index", "1a", 0.05),
+        ):
+            ours = derived_evaluator.estimate(model, query)
+            paper = paper_evaluator.estimate(model, query)
+            assert ours == pytest.approx(paper, rel=tolerance)
+
+    def test_estimate_all_shape(self, derived_evaluator):
+        table = derived_evaluator.estimate_all("DSM")
+        assert set(table) == set(QUERIES)
+
+
+class TestStructureCounts:
+    def test_from_config(self):
+        counts = StructureCounts.from_config(DEFAULT_CONFIG)
+        assert counts.platforms == pytest.approx(1.6)
+        assert counts.connections == pytest.approx(4.096)
+        assert counts.connections_per_platform == pytest.approx(2.56)
+        assert counts.sightseeings == pytest.approx(7.5)
+
+    def test_zero_platforms(self):
+        counts = StructureCounts(platforms=0.0, connections=0.0, sightseeings=1.0)
+        assert counts.connections_per_platform == 0.0
+
+
+class TestWorkloadParameters:
+    def test_draws_per_loop(self):
+        w = WorkloadParameters(1500, 4.096, 300)
+        assert w.draws_per_loop == pytest.approx(21.87, abs=0.01)
+
+    def test_distinct_per_loop_matches_paper(self):
+        w = WorkloadParameters(1500, 4.096, 300)
+        assert w.distinct_per_loop() == pytest.approx(21.72, abs=0.02)
+
+    def test_distinct_over_loops_matches_paper(self):
+        w = WorkloadParameters(1500, 4.096, 300)
+        assert w.distinct_over_loops() == pytest.approx(1481, abs=2)
+
+    def test_grandchildren(self):
+        w = WorkloadParameters(1500, 4.096, 300)
+        assert w.grandchildren == pytest.approx(16.78, abs=0.01)

@@ -1,0 +1,226 @@
+"""Unit and property tests for the analytical formulas (Equations 1-8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import formulas
+from repro.errors import BenchmarkError
+
+
+class TestEq1DiskCost:
+    def test_weighted_sum(self):
+        assert formulas.disk_cost(10, 100, d1=2.0, d2=0.5) == 70.0
+
+    def test_default_weights(self):
+        assert formulas.disk_cost(3, 4) == 7.0
+
+
+class TestEq2PagesPerLargeTuple:
+    def test_paper_dsm_station(self):
+        """6078-byte DSM-Station: 1 header + 3 data pages = 4 (Table 2)."""
+        assert formulas.pages_per_large_tuple(2012, 4066, 2012) == 4
+
+    def test_header_and_data_ceil_separately(self):
+        assert formulas.pages_per_large_tuple(100, 100, 2012) == 2
+
+    def test_empty_data(self):
+        assert formulas.pages_per_large_tuple(100, 0, 2012) == 1
+
+    def test_minimum_one_page(self):
+        assert formulas.pages_per_large_tuple(0, 0, 2012) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(BenchmarkError):
+            formulas.pages_per_large_tuple(-1, 10, 2012)
+
+    def test_unwasted_fractional(self):
+        assert formulas.pages_per_large_tuple_unwasted(6078, 2012) == pytest.approx(3.021, abs=1e-3)
+
+
+class TestEq3LargeEntire:
+    def test_linear(self):
+        assert formulas.pages_large_entire(5, 4) == 20
+
+    def test_fractional(self):
+        assert formulas.pages_large_entire(21.72, 4) == pytest.approx(86.9, abs=0.05)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BenchmarkError):
+            formulas.pages_large_entire(-1, 4)
+
+
+class TestEq4Cardenas:
+    def test_zero_tuples(self):
+        assert formulas.pages_small_random(0, 100) == 0.0
+
+    def test_one_tuple_one_page(self):
+        assert formulas.pages_small_random(1, 100) == pytest.approx(1.0)
+
+    def test_saturates_at_m(self):
+        assert formulas.pages_small_random(1_000_000, 50) == pytest.approx(50.0)
+
+    def test_single_page_relation(self):
+        assert formulas.pages_small_random(10, 1) == 1.0
+
+    def test_paper_scale_value(self):
+        # 16.78 tuples over 116 pages ≈ 15.7 pages (used all over Table 3).
+        assert formulas.pages_small_random(16.78, 116) == pytest.approx(15.7, abs=0.1)
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(BenchmarkError):
+            formulas.pages_small_random(1, 0)
+
+
+class TestYao:
+    def test_matches_cardenas_closely(self):
+        cardenas = formulas.pages_small_random(50, 559)
+        yao = formulas.pages_small_random_yao(50, 6144, 559)
+        assert yao == pytest.approx(cardenas, rel=0.02)
+
+    def test_all_tuples_all_pages(self):
+        assert formulas.pages_small_random_yao(6144, 6144, 559) == 559.0
+
+    def test_zero(self):
+        assert formulas.pages_small_random_yao(0, 100, 10) == 0.0
+
+    def test_yao_at_least_cardenas(self):
+        """Without replacement touches at least as many pages."""
+        for t in (5, 20, 80):
+            yao = formulas.pages_small_random_yao(t, 1500, 116)
+            cardenas = formulas.pages_small_random(t, 116)
+            assert yao >= cardenas - 1e-9
+
+
+class TestEq6ClusterRun:
+    def test_single_tuple(self):
+        assert formulas.pages_cluster_run(1, 100, 11) == 1.0
+
+    def test_exactly_one_page(self):
+        assert formulas.pages_cluster_run(11, 100, 11) == 1.0
+
+    def test_one_more_tuple_starts_second_page(self):
+        assert formulas.pages_cluster_run(12, 100, 11) == 2.0
+
+    def test_overflow_returns_m(self):
+        assert formulas.pages_cluster_run(10_000, 50, 11) == 50.0
+
+    def test_zero(self):
+        assert formulas.pages_cluster_run(0, 100, 11) == 0.0
+
+    def test_expected_variant(self):
+        assert formulas.pages_cluster_run_expected(4.096, 559, 11) == pytest.approx(
+            1.28, abs=0.01
+        )
+
+
+class TestEq7ClusteredGroups:
+    def test_degenerates_to_eq6_for_one_cluster(self):
+        one = formulas.pages_clustered_groups(1, 8, 1000, 11)
+        run = formulas.pages_cluster_run_expected(8, 1000, 11)
+        assert one == pytest.approx(run, rel=0.01)
+
+    def test_degenerates_to_eq4_for_singletons(self):
+        groups = formulas.pages_clustered_groups(20, 1, 116, 13)
+        random_ = formulas.pages_small_random(20, 116)
+        assert groups == pytest.approx(random_, rel=0.05)
+
+    def test_saturates_at_m(self):
+        assert formulas.pages_clustered_groups(10_000, 8, 50, 11) == pytest.approx(50.0)
+
+    def test_zero_clusters(self):
+        assert formulas.pages_clustered_groups(0, 5, 100, 11) == 0.0
+
+
+class TestEq8Distinct:
+    def test_paper_children_value(self):
+        # 4.096 draws out of 1500 → ~4.09 distinct children.
+        assert formulas.distinct_selected(1500, 4.096) == pytest.approx(4.09, abs=0.01)
+
+    def test_paper_loop_total(self):
+        # 300 loops × 21.87 draws → ~1481 distinct objects (Section 4).
+        assert formulas.distinct_selected(1500, 6561) == pytest.approx(1481, abs=2)
+
+    def test_zero_draws(self):
+        assert formulas.distinct_selected(100, 0) == 0.0
+
+    def test_bounded_by_n(self):
+        assert formulas.distinct_selected(10, 1_000_000) <= 10.0
+
+    def test_single_object(self):
+        assert formulas.distinct_selected(1, 5) == 1.0
+
+    def test_limit_form_close_for_large_n(self):
+        exact = formulas.distinct_selected(1500, 300)
+        limit = formulas.distinct_selected_limit(1500, 300)
+        assert limit == pytest.approx(exact, rel=0.001)
+
+
+class TestDerivedHelpers:
+    def test_tuples_per_page_with_slots(self):
+        assert formulas.tuples_per_page(2012, 170, 4) == 11  # NSM_Connection
+
+    def test_tuples_per_page_minimum_one(self):
+        assert formulas.tuples_per_page(2012, 5000) == 1
+
+    def test_pages_for_relation(self):
+        assert formulas.pages_for_relation(6144, 11) == 559  # Table 2 anchor
+
+    def test_pages_for_relation_empty(self):
+        assert formulas.pages_for_relation(0, 11) == 0
+
+
+# -- property-based -------------------------------------------------------------
+
+@given(
+    t=st.floats(min_value=0, max_value=1e6),
+    m=st.floats(min_value=1, max_value=1e5),
+)
+@settings(max_examples=100)
+def test_property_cardenas_bounds(t, m):
+    """0 ≤ X ≤ min(t, m) and X grows with t."""
+    x = formulas.pages_small_random(t, m)
+    assert 0.0 <= x <= m + 1e-9
+    if t >= 1:
+        assert x <= t + 1e-9
+    assert formulas.pages_small_random(t + 1, m) >= x - 1e-12
+
+
+@given(
+    t=st.integers(min_value=1, max_value=10_000),
+    m=st.integers(min_value=1, max_value=1000),
+    k=st.integers(min_value=1, max_value=100),
+)
+@settings(max_examples=100)
+def test_property_cluster_run_bounds(t, m, k):
+    """ceil(t/k) ≤ X ≤ m for a feasible run, and X never exceeds m."""
+    x = formulas.pages_cluster_run(t, m, k)
+    assert x <= m
+    if t <= m * k - k + 1:
+        assert x == min(m, 1 + (t - 1) // k)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=100_000),
+    draws=st.integers(min_value=0, max_value=100_000),
+)
+@settings(max_examples=100)
+def test_property_distinct_bounds(n, draws):
+    """0 ≤ N_sel ≤ min(n, draws); monotone in draws."""
+    x = formulas.distinct_selected(n, draws)
+    assert 0.0 <= x <= min(n, draws) + 1e-6
+    assert formulas.distinct_selected(n, draws + 1) >= x
+
+
+@given(
+    i=st.integers(min_value=1, max_value=500),
+    g=st.integers(min_value=1, max_value=50),
+    m=st.integers(min_value=2, max_value=2000),
+    k=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=100)
+def test_property_clustered_groups_bounds(i, g, m, k):
+    x = formulas.pages_clustered_groups(i, g, m, k)
+    assert 0.0 < x <= m + 1e-9
+    # More clusters never touch fewer pages.
+    assert formulas.pages_clustered_groups(i + 1, g, m, k) >= x - 1e-9

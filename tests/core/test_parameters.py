@@ -1,0 +1,105 @@
+"""Unit tests for parameter derivation (Table 2) in both modes."""
+
+import pytest
+
+from repro.benchmark.config import DEFAULT_CONFIG
+from repro.core.parameters import (
+    derive_parameters,
+    paper_parameters,
+)
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def derived():
+    return derive_parameters(DEFAULT_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def paper():
+    return paper_parameters()
+
+
+class TestPaperParameters:
+    def test_dsm_station_anchors(self, paper):
+        rel = paper["DSM"].relation("DSM_Station")
+        assert rel.s_tuple == 6078.0
+        assert rel.p == 4
+        assert rel.m == 6000.0
+        assert rel.p_unwasted == pytest.approx(3.02, abs=0.01)
+
+    def test_nsm_connection_anchors(self, paper):
+        rel = paper["NSM"].relation("NSM_Connection")
+        assert rel.s_tuple == 170.0
+        assert rel.k == 11
+        assert rel.m == 559.0
+
+    def test_nsm_sightseeing_anchors(self, paper):
+        rel = paper["NSM"].relation("NSM_Sightseeing")
+        assert rel.s_tuple == 456.0
+        assert rel.m == 2813.0
+
+    def test_dasdbs_nsm_connection_anchor(self, paper):
+        assert paper["DASDBS-NSM"].relation("DASDBS_NSM_Connection").m == 500.0
+
+    def test_station_relation_reconstruction(self, paper):
+        """S=154 → k=13 → m=116 (implied by the 120/121 cells of Table 3)."""
+        rel = paper["NSM"].relation("NSM_Station")
+        assert rel.k == 13
+        assert rel.m == 116.0
+
+    def test_scaling_to_other_sizes(self):
+        small = paper_parameters(n_objects=300)
+        assert small["DSM"].relation("DSM_Station").m == 1200.0
+        assert small["NSM"].relation("NSM_Station").m == pytest.approx(24.0, abs=1)
+
+    def test_unknown_relation_rejected(self, paper):
+        with pytest.raises(BenchmarkError):
+            paper["DSM"].relation("Nope")
+
+
+class TestDerivedParameters:
+    def test_all_models_present(self, derived):
+        assert set(derived) == {"DSM", "DASDBS-DSM", "NSM", "NSM+index", "DASDBS-NSM"}
+
+    def test_direct_station_is_large(self, derived):
+        rel = derived["DSM"].relations[0]
+        assert rel.is_large
+        assert rel.p == 4
+        assert rel.section_bytes[0] < rel.section_bytes[1] < rel.section_bytes[2]
+
+    def test_nsm_matches_paper_within_tolerance(self, derived, paper=None):
+        paper = paper_parameters()
+        for name in ("NSM_Connection", "NSM_Sightseeing"):
+            ours = derived["NSM"].relation(name)
+            theirs = paper["NSM"].relation(name)
+            assert ours.s_tuple == pytest.approx(theirs.s_tuple, rel=0.02)
+            assert ours.m == pytest.approx(theirs.m, rel=0.05)
+
+    def test_dasdbs_nsm_sightseeing_is_large(self, derived):
+        rel = derived["DASDBS-NSM"].relation("DASDBS_NSM_Sightseeing")
+        assert rel.is_large
+        assert rel.p == 3  # 1 header + 2 data pages for the average tuple
+
+    def test_small_object_regime(self):
+        """With maxSightseeing=0 the direct Station tuples become small."""
+        cfg = DEFAULT_CONFIG.with_changes(max_sightseeing=0)
+        params = derive_parameters(cfg)
+        rel = params["DSM"].relations[0]
+        assert not rel.is_large
+        assert rel.k is not None and rel.k >= 1
+
+    def test_total_pages_positive(self, derived):
+        for params in derived.values():
+            assert params.total_pages > 0
+
+    def test_nsm_index_shares_nsm_layout(self, derived):
+        assert derived["NSM+index"].relations == derived["NSM"].relations
+
+    def test_derived_m_matches_engine(self, small_runner, small_config):
+        """The derived page counts track the engine's actual layout."""
+        params = derive_parameters(small_config)
+        nsm = small_runner.build_model("NSM")
+        for rel_params in params["NSM"].relations:
+            actual = nsm.relation_pages()[rel_params.relation]
+            assert actual == pytest.approx(rel_params.m, rel=0.25, abs=2)

@@ -1,0 +1,88 @@
+"""Monte-Carlo validation of the (partly reconstructed) formulas."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import validation
+from repro.errors import BenchmarkError
+
+
+class TestEq4Validation:
+    def test_paper_scale(self):
+        result = validation.validate_eq4(t=17, n=1500, m=116, trials=300)
+        assert result.relative_error < 0.05
+
+    def test_small_scale(self):
+        result = validation.validate_eq4(t=5, n=100, m=10, trials=500)
+        assert result.relative_error < 0.05
+
+    def test_yao_near_exact(self):
+        result = validation.validate_yao(t=40, n=1500, m=116, trials=800, seed=3)
+        assert result.relative_error < 0.02
+
+    def test_cardenas_underestimates_yao_regime(self):
+        """Known property: Cardenas ≤ simulation for draws w/o replacement."""
+        cardenas = validation.validate_eq4(t=200, n=1500, m=116, trials=500)
+        assert cardenas.analytical <= cardenas.simulated + 0.5
+
+    def test_too_many_tuples_rejected(self):
+        with pytest.raises(BenchmarkError):
+            validation.simulate_random_tuple_pages(t=11, n=10, m=2)
+
+
+class TestEq6Validation:
+    def test_aligned_exact(self):
+        result = validation.validate_eq6(t=25, m=100, k=11, trials=50)
+        assert result.absolute_error == 0.0  # deterministic for aligned runs
+
+    def test_random_alignment_expectation(self):
+        result = validation.validate_eq6_expected(t=25, m=100, k=11, trials=4000)
+        assert result.relative_error < 0.03
+
+    def test_run_too_long_rejected(self):
+        with pytest.raises(BenchmarkError):
+            validation.simulate_cluster_run_pages(t=1000, m=10, k=5)
+
+
+class TestEq7Validation:
+    def test_benchmark_regime(self):
+        """The regime Table 3 uses: ~4 clusters of ~4 tuples, k=11."""
+        result = validation.validate_eq7(i=4, g=4, m=559, k=11, trials=800)
+        assert result.relative_error < 0.05
+
+    def test_many_clusters_saturation(self):
+        result = validation.validate_eq7(i=2000, g=4, m=100, k=11, trials=100)
+        assert result.relative_error < 0.05
+
+    def test_cluster_too_long_rejected(self):
+        with pytest.raises(BenchmarkError):
+            validation.simulate_clustered_groups_pages(i=1, g=100, m=5, k=10)
+
+
+class TestEq8Validation:
+    def test_exact_in_expectation(self):
+        result = validation.validate_eq8(n_total=100, n_draws=150, trials=1500)
+        assert result.relative_error < 0.02
+
+    def test_result_fields(self):
+        result = validation.validate_eq8(50, 10, trials=200)
+        assert result.absolute_error == abs(result.analytical - result.simulated)
+
+
+@given(
+    i=st.integers(min_value=1, max_value=30),
+    g=st.integers(min_value=1, max_value=12),
+    m=st.integers(min_value=50, max_value=600),
+    k=st.integers(min_value=4, max_value=16),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_eq7_tracks_simulation(i, g, m, k):
+    """The Equation 7 reconstruction stays within 15% of ground truth
+    over the regime the cost model uses it in: clusters of at most a
+    few pages (g ≲ k) inside relations of many pages.  (The benchmark
+    regime itself is held to 5% above.)"""
+    result = validation.validate_eq7(i=i, g=g, m=m, k=k, trials=400, seed=1)
+    assert result.analytical <= m + 1e-9
+    if result.simulated >= 2.0:
+        assert result.relative_error < 0.15

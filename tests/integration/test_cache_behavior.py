@@ -1,0 +1,68 @@
+"""Integration: the Figure 6 caching dynamics and Figure 5 size effects."""
+
+import pytest
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.runner import BenchmarkRunner
+
+
+def run_2b(n_objects: int, buffer_pages: int, model: str = "DSM", **kw) -> float:
+    cfg = BenchmarkConfig(
+        n_objects=n_objects, buffer_pages=buffer_pages, seed=19, q2a_sample=4, **kw
+    )
+    run = BenchmarkRunner(cfg).run_model(model, queries=("2b",))
+    return run.metric("2b", "io_pages")
+
+
+class TestFigure6Dynamics:
+    def test_plateau_without_overflow(self):
+        """Small DBs sit near the best-case value regardless of size."""
+        small = run_2b(n_objects=60, buffer_pages=1200)
+        larger = run_2b(n_objects=120, buffer_pages=1200)
+        assert larger == pytest.approx(small, rel=0.35)
+
+    def test_overflow_raises_cost(self):
+        fits = run_2b(n_objects=150, buffer_pages=1200)
+        overflows = run_2b(n_objects=150, buffer_pages=120)
+        assert overflows > fits * 1.5
+
+    def test_dsm_more_sensitive_than_dasdbs_nsm(self):
+        """Figure 6: 'DSM is the most, and DASDBS-NSM the least
+        sensitive to cache overflow'."""
+        buffer_pages = 120
+        dsm_ratio = run_2b(150, buffer_pages, "DSM") / run_2b(150, 1200, "DSM")
+        dnsm_ratio = run_2b(150, buffer_pages, "DASDBS-NSM") / run_2b(
+            150, 1200, "DASDBS-NSM"
+        )
+        assert dsm_ratio > dnsm_ratio
+
+    def test_measured_between_best_and_worst(self):
+        """Overflowed measurements stay below the worst-case estimate."""
+        from repro.core.estimators import AnalyticalEvaluator
+        from repro.core.parameters import WorkloadParameters, derive_parameters
+
+        cfg = BenchmarkConfig(n_objects=150, buffer_pages=120, seed=19)
+        measured = BenchmarkRunner(cfg).run_model("DSM", queries=("2b",)).metric(
+            "2b", "io_pages"
+        )
+        ev = AnalyticalEvaluator(derive_parameters(cfg), WorkloadParameters.from_config(cfg))
+        assert ev.estimate("DSM", "2b") < measured
+        assert measured < ev.estimate("DSM", "2b", worst=True) * 1.1
+
+
+class TestFigure5Dynamics:
+    @pytest.mark.parametrize("model", ["DSM", "DASDBS-DSM", "DASDBS-NSM"])
+    def test_query2b_size_sensitivity(self, model):
+        """Growing Sightseeings hurts DSM, barely affects DASDBS-NSM."""
+        lean = run_2b(100, 240, model, max_sightseeing=0)
+        fat = run_2b(100, 240, model, max_sightseeing=30)
+        if model == "DSM":
+            assert fat > lean * 2
+        if model == "DASDBS-NSM":
+            assert fat == pytest.approx(lean, rel=0.35)
+
+    def test_gap_between_direct_models_grows(self):
+        for level, min_ratio in ((0, 0.9), (30, 1.5)):
+            dsm = run_2b(100, 240, "DSM", max_sightseeing=level)
+            ddsm = run_2b(100, 240, "DASDBS-DSM", max_sightseeing=level)
+            assert dsm / ddsm >= min_ratio

@@ -1,0 +1,137 @@
+"""Unit tests for nested relation schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.nf2.schema import (
+    Attribute,
+    AttributeType,
+    RelationSchema,
+    int_attr,
+    link_attr,
+    str_attr,
+)
+
+
+class TestAttribute:
+    def test_int_default_size(self):
+        assert int_attr("Key").size == 4
+
+    def test_str_default_size(self):
+        assert str_attr("Name").size == 100
+
+    def test_str_custom_size(self):
+        assert str_attr("Name", 32).size == 32
+
+    def test_link_size(self):
+        assert link_attr("Oid").size == 4
+
+    def test_int_wrong_size_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("Key", AttributeType.INT, 8)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("Name", AttributeType.STR, -5)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            int_attr("not valid!")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            int_attr("")
+
+
+class TestRelationSchema:
+    def test_flat_construction(self):
+        schema = RelationSchema.flat("R", int_attr("a"), str_attr("b"))
+        assert schema.is_flat
+        assert schema.depth == 1
+        assert schema.atomic_width == 104
+
+    def test_nested_depth(self):
+        inner = RelationSchema.flat("Inner", int_attr("x"))
+        middle = RelationSchema("Middle", (int_attr("y"),), (inner,))
+        outer = RelationSchema("Outer", (int_attr("z"),), (middle,))
+        assert outer.depth == 3
+        assert not outer.is_flat
+
+    def test_attribute_lookup(self):
+        schema = RelationSchema.flat("R", int_attr("a"))
+        assert schema.attribute("a").type is AttributeType.INT
+        with pytest.raises(SchemaError):
+            schema.attribute("missing")
+
+    def test_subrelation_lookup(self):
+        inner = RelationSchema.flat("Inner", int_attr("x"))
+        outer = RelationSchema("Outer", (int_attr("z"),), (inner,))
+        assert outer.subrelation("Inner") is inner
+        with pytest.raises(SchemaError):
+            outer.subrelation("missing")
+
+    def test_has_attribute(self):
+        schema = RelationSchema.flat("R", int_attr("a"))
+        assert schema.has_attribute("a")
+        assert not schema.has_attribute("b")
+
+    def test_has_subrelation(self):
+        inner = RelationSchema.flat("Inner", int_attr("x"))
+        outer = RelationSchema("Outer", (int_attr("z"),), (inner,))
+        assert outer.has_subrelation("Inner")
+        assert not outer.has_subrelation("Other")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.flat("R", int_attr("a"), int_attr("a"))
+
+    def test_duplicate_attr_subrel_name_rejected(self):
+        inner = RelationSchema.flat("a", int_attr("x"))
+        with pytest.raises(SchemaError):
+            RelationSchema("R", (int_attr("a"),), (inner,))
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_walk_preorder(self):
+        inner = RelationSchema.flat("Inner", int_attr("x"))
+        middle = RelationSchema("Middle", (int_attr("y"),), (inner,))
+        outer = RelationSchema("Outer", (int_attr("z"),), (middle,))
+        assert outer.flatten_names() == ["Outer", "Middle", "Inner"]
+
+
+class TestBenchmarkSchema:
+    """Figure 1 invariants of the Station schema."""
+
+    def test_station_structure(self):
+        from repro.benchmark.schema import STATION_SCHEMA
+
+        assert STATION_SCHEMA.depth == 3
+        assert [s.name for s in STATION_SCHEMA.subrelations] == ["Platform", "Sightseeing"]
+
+    def test_attribute_widths_match_figure1(self):
+        from repro.benchmark.schema import (
+            CONNECTION_SCHEMA,
+            PLATFORM_SCHEMA,
+            SIGHTSEEING_SCHEMA,
+            STATION_SCHEMA,
+        )
+
+        assert STATION_SCHEMA.atomic_width == 112  # 3 INT + 100-byte STR
+        assert PLATFORM_SCHEMA.atomic_width == 112
+        assert CONNECTION_SCHEMA.atomic_width == 112
+        assert SIGHTSEEING_SCHEMA.atomic_width == 404  # 1 INT + 4 STRs
+
+    def test_connection_holds_link(self):
+        from repro.benchmark.schema import CONNECTION_SCHEMA
+
+        attr = CONNECTION_SCHEMA.attribute("OidConnection")
+        assert attr.type is AttributeType.LINK
+        assert attr.size == 4
+
+    def test_key_oid_mapping_roundtrip(self):
+        from repro.benchmark.schema import key_of_oid, oid_of_key
+
+        for oid in (0, 1, 1499):
+            assert oid_of_key(key_of_oid(oid)) == oid

@@ -1,0 +1,136 @@
+"""Unit tests for nested tuple values."""
+
+import pytest
+
+from repro.errors import SchemaError, SerializationError
+from repro.nf2.schema import RelationSchema, int_attr, str_attr
+from repro.nf2.values import NestedTuple
+
+INNER = RelationSchema.flat("Inner", int_attr("x"), str_attr("s", 10))
+OUTER = RelationSchema("Outer", (int_attr("a"), str_attr("b", 20)), (INNER,))
+
+
+def make_outer(a=1, b="hi", inners=()):
+    return NestedTuple(OUTER, {"a": a, "b": b}, {"Inner": list(inners)})
+
+
+def make_inner(x=7, s="abc"):
+    return NestedTuple(INNER, {"x": x, "s": s})
+
+
+class TestConstruction:
+    def test_atoms_accessible(self):
+        t = make_outer(a=5, b="hello")
+        assert t["a"] == 5
+        assert t["b"] == "hello"
+
+    def test_missing_atom_rejected(self):
+        with pytest.raises(SchemaError):
+            NestedTuple(OUTER, {"a": 1})
+
+    def test_unknown_atom_rejected(self):
+        with pytest.raises(SchemaError):
+            NestedTuple(OUTER, {"a": 1, "b": "x", "zzz": 2})
+
+    def test_unknown_subrelation_rejected(self):
+        with pytest.raises(SchemaError):
+            NestedTuple(OUTER, {"a": 1, "b": "x"}, {"Nope": []})
+
+    def test_wrong_child_schema_rejected(self):
+        stray = NestedTuple(RelationSchema.flat("Other", int_attr("x")), {"x": 1})
+        with pytest.raises(SchemaError):
+            NestedTuple(OUTER, {"a": 1, "b": "x"}, {"Inner": [stray]})
+
+    def test_int_type_checked(self):
+        with pytest.raises(SerializationError):
+            make_inner(x="not an int")
+
+    def test_bool_rejected_for_int(self):
+        with pytest.raises(SerializationError):
+            make_inner(x=True)
+
+    def test_int_range_checked(self):
+        with pytest.raises(SerializationError):
+            make_inner(x=2**31)
+        make_inner(x=2**31 - 1)  # boundary is fine
+
+    def test_str_type_checked(self):
+        with pytest.raises(SerializationError):
+            make_inner(s=42)
+
+    def test_str_length_checked(self):
+        with pytest.raises(SerializationError):
+            make_inner(s="x" * 11)
+
+    def test_str_length_utf8_bytes(self):
+        # 6 chars of 2 bytes each exceed a 10-byte attribute.
+        with pytest.raises(SerializationError):
+            make_inner(s="éééééé")
+
+
+class TestAccess:
+    def test_unknown_atom_read_rejected(self):
+        with pytest.raises(SchemaError):
+            make_outer()["zzz"]
+
+    def test_subtuples_returns_copy(self):
+        t = make_outer(inners=[make_inner()])
+        children = t.subtuples("Inner")
+        children.append(make_inner(x=2))
+        assert len(t.subtuples("Inner")) == 1
+
+    def test_unknown_subrelation_read_rejected(self):
+        with pytest.raises(SchemaError):
+            make_outer().subtuples("zzz")
+
+    def test_atoms_returns_copy(self):
+        t = make_outer()
+        atoms = t.atoms()
+        atoms["a"] = 99
+        assert t["a"] == 1
+
+    def test_count_subtuples_recursive(self):
+        t = make_outer(inners=[make_inner(), make_inner()])
+        assert t.count_subtuples() == 2
+
+    def test_walk_subtuples(self):
+        t = make_outer(inners=[make_inner(x=1), make_inner(x=2)])
+        assert [c["x"] for c in t.walk_subtuples()] == [1, 2]
+
+
+class TestReplaceAtoms:
+    def test_replace_produces_new_value(self):
+        t = make_outer(a=1)
+        t2 = t.replace_atoms(a=2)
+        assert t["a"] == 1
+        assert t2["a"] == 2
+
+    def test_replace_keeps_children(self):
+        t = make_outer(inners=[make_inner()])
+        t2 = t.replace_atoms(a=9)
+        assert t2.subtuples("Inner") == t.subtuples("Inner")
+
+    def test_replace_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            make_outer().replace_atoms(zzz=1)
+
+    def test_replace_validates_value(self):
+        with pytest.raises(SerializationError):
+            make_outer().replace_atoms(a="nope")
+
+
+class TestEquality:
+    def test_equal_values(self):
+        assert make_outer(inners=[make_inner()]) == make_outer(inners=[make_inner()])
+
+    def test_unequal_atoms(self):
+        assert make_outer(a=1) != make_outer(a=2)
+
+    def test_unequal_children(self):
+        assert make_outer(inners=[make_inner(x=1)]) != make_outer(inners=[make_inner(x=2)])
+
+    def test_not_equal_to_other_types(self):
+        assert make_outer() != "something"
+
+    def test_repr_mentions_schema(self):
+        assert "Outer" in repr(make_outer())

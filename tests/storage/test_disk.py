@@ -1,0 +1,136 @@
+"""Unit tests for the simulated disk and its I/O accounting."""
+
+import pytest
+
+from repro.errors import InvalidAddressError, StorageError
+from repro.storage.disk import DiskGeometry, SimulatedDisk
+from repro.storage.metrics import MetricsCollector
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(page_size=256)
+
+
+class TestAllocation:
+    def test_ids_are_sequential(self, disk):
+        assert [disk.allocate() for _ in range(3)] == [0, 1, 2]
+
+    def test_allocate_many_contiguous(self, disk):
+        assert disk.allocate_many(4) == [0, 1, 2, 3]
+
+    def test_allocate_many_negative_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.allocate_many(-1)
+
+    def test_new_pages_zeroed(self, disk):
+        pid = disk.allocate()
+        assert disk.read_page(pid) == bytes(256)
+
+    def test_free_releases(self, disk):
+        pid = disk.allocate()
+        disk.free(pid)
+        assert not disk.is_allocated(pid)
+        with pytest.raises(InvalidAddressError):
+            disk.read_page(pid)
+
+    def test_freed_ids_not_reused(self, disk):
+        pid = disk.allocate()
+        disk.free(pid)
+        assert disk.allocate() == pid + 1
+
+    def test_allocated_pages_counter(self, disk):
+        disk.allocate_many(5)
+        disk.free(0)
+        assert disk.allocated_pages == 4
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            SimulatedDisk(page_size=16)
+
+
+class TestTransfers:
+    def test_write_then_read(self, disk):
+        pid = disk.allocate()
+        disk.write_page(pid, b"\x01" * 256)
+        assert disk.read_page(pid) == b"\x01" * 256
+
+    def test_wrong_size_write_rejected(self, disk):
+        pid = disk.allocate()
+        with pytest.raises(StorageError):
+            disk.write_page(pid, b"short")
+
+    def test_read_unallocated_rejected(self, disk):
+        with pytest.raises(InvalidAddressError):
+            disk.read_page(17)
+
+    def test_multi_page_read_one_call(self, disk):
+        pids = disk.allocate_many(5)
+        disk.metrics.reset()
+        disk.read_pages(pids)
+        snap = disk.metrics.snapshot()
+        assert snap.read_calls == 1
+        assert snap.pages_read == 5
+
+    def test_single_reads_many_calls(self, disk):
+        pids = disk.allocate_many(5)
+        disk.metrics.reset()
+        for pid in pids:
+            disk.read_page(pid)
+        snap = disk.metrics.snapshot()
+        assert snap.read_calls == 5
+        assert snap.pages_read == 5
+
+    def test_multi_page_write_one_call(self, disk):
+        pids = disk.allocate_many(3)
+        disk.metrics.reset()
+        disk.write_pages((pid, bytes(256)) for pid in pids)
+        snap = disk.metrics.snapshot()
+        assert snap.write_calls == 1
+        assert snap.pages_written == 3
+
+    def test_empty_read_no_call(self, disk):
+        disk.metrics.reset()
+        assert disk.read_pages([]) == []
+        assert disk.metrics.snapshot().read_calls == 0
+
+    def test_empty_write_no_call(self, disk):
+        disk.metrics.reset()
+        disk.write_pages([])
+        assert disk.metrics.snapshot().write_calls == 0
+
+    def test_failed_write_atomic(self, disk):
+        """A bad page in a batch must not half-apply the batch."""
+        pid = disk.allocate()
+        disk.write_page(pid, b"\x07" * 256)
+        with pytest.raises(StorageError):
+            disk.write_pages([(pid, bytes(256)), (pid + 99, bytes(256))])
+        assert disk.read_page(pid) == b"\x07" * 256
+
+    def test_shared_metrics_collector(self):
+        metrics = MetricsCollector()
+        disk = SimulatedDisk(page_size=128, metrics=metrics)
+        pid = disk.allocate()
+        disk.read_page(pid)
+        assert metrics.read_calls == 1
+
+
+class TestDiskGeometry:
+    def test_service_time_formula(self):
+        geo = DiskGeometry(positioning_ms=10.0, transfer_ms_per_page=1.0)
+        assert geo.service_time_ms(2, 10) == 30.0
+
+    def test_service_time_of_snapshot(self, disk):
+        pids = disk.allocate_many(4)
+        disk.metrics.reset()
+        disk.read_pages(pids)
+        geo = DiskGeometry(positioning_ms=10.0, transfer_ms_per_page=1.0)
+        assert geo.service_time_of(disk.metrics.snapshot()) == 14.0
+
+    def test_calls_dominate_for_scattered_io(self):
+        """Many small calls cost more than one large call — the reason
+        Table 5 matters."""
+        geo = DiskGeometry()
+        scattered = geo.service_time_ms(calls=10, pages=10)
+        batched = geo.service_time_ms(calls=1, pages=10)
+        assert scattered > batched

@@ -1,0 +1,90 @@
+"""Unit tests for metric counters, snapshots, and normalisation."""
+
+import pytest
+
+from repro.storage.metrics import MetricsCollector, MetricsSnapshot
+
+
+class TestCollector:
+    def test_initial_state_zero(self):
+        snap = MetricsCollector().snapshot()
+        assert snap == MetricsSnapshot()
+
+    def test_read_call_accumulates(self):
+        m = MetricsCollector()
+        m.record_read_call(3)
+        m.record_read_call(2)
+        snap = m.snapshot()
+        assert snap.read_calls == 2
+        assert snap.pages_read == 5
+
+    def test_write_call_accumulates(self):
+        m = MetricsCollector()
+        m.record_write_call(4)
+        snap = m.snapshot()
+        assert snap.write_calls == 1
+        assert snap.pages_written == 4
+
+    def test_zero_page_call_rejected(self):
+        m = MetricsCollector()
+        with pytest.raises(ValueError):
+            m.record_read_call(0)
+        with pytest.raises(ValueError):
+            m.record_write_call(-1)
+
+    def test_fix_hit_miss_split(self):
+        m = MetricsCollector()
+        m.record_fix(hit=True)
+        m.record_fix(hit=False)
+        m.record_fix(hit=True)
+        snap = m.snapshot()
+        assert snap.page_fixes == 3
+        assert snap.buffer_hits == 2
+        assert snap.buffer_misses == 1
+
+    def test_reset(self):
+        m = MetricsCollector()
+        m.record_read_call(5)
+        m.reset()
+        assert m.snapshot() == MetricsSnapshot()
+
+    def test_snapshot_is_immutable_copy(self):
+        m = MetricsCollector()
+        snap = m.snapshot()
+        m.record_read_call(1)
+        assert snap.pages_read == 0
+
+
+class TestSnapshotArithmetic:
+    def test_subtraction_isolates_deltas(self):
+        m = MetricsCollector()
+        m.record_read_call(5)
+        before = m.snapshot()
+        m.record_read_call(3)
+        m.record_write_call(2)
+        delta = m.snapshot() - before
+        assert delta.pages_read == 3
+        assert delta.pages_written == 2
+
+    def test_addition(self):
+        a = MetricsSnapshot(read_calls=1, pages_read=2)
+        b = MetricsSnapshot(read_calls=3, pages_read=4)
+        total = a + b
+        assert total.read_calls == 4
+        assert total.pages_read == 6
+
+    def test_io_totals(self):
+        snap = MetricsSnapshot(read_calls=2, write_calls=1, pages_read=10, pages_written=5)
+        assert snap.io_pages == 15
+        assert snap.io_calls == 3
+
+    def test_scaled_normalisation(self):
+        snap = MetricsSnapshot(pages_read=300, page_fixes=600)
+        scaled = snap.scaled(300)
+        assert scaled.pages_read == 1.0
+        assert scaled.page_fixes == 2.0
+        assert scaled.io_pages == 1.0
+
+    def test_scaled_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            MetricsSnapshot().scaled(0)

@@ -1,0 +1,202 @@
+"""Unit and property tests for slotted pages."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidAddressError, PageOverflowError, StorageError
+from repro.storage.constants import PAGE_HEADER_SIZE
+from repro.storage.page import SlottedPage
+
+
+def make_page(size=512):
+    return SlottedPage(bytearray(size), size)
+
+
+class TestBasicOperations:
+    def test_fresh_page_is_empty(self):
+        page = make_page()
+        assert page.n_slots == 0
+        assert page.live_records == 0
+
+    def test_insert_read(self):
+        page = make_page()
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_sequential_slots(self):
+        page = make_page()
+        assert [page.insert(b"x") for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_read_bad_slot(self):
+        page = make_page()
+        with pytest.raises(InvalidAddressError):
+            page.read(0)
+
+    def test_max_record_size(self):
+        size = SlottedPage.max_record_size(512)
+        page = make_page()
+        page.insert(b"x" * size)
+        with pytest.raises(PageOverflowError):
+            make_page().insert(b"x" * (size + 1))
+
+    def test_free_space_decreases(self):
+        page = make_page()
+        before = page.free_space
+        page.insert(b"x" * 50)
+        assert page.free_space == before - 50 - 4
+
+    def test_overflow_raises(self):
+        page = make_page()
+        page.insert(b"x" * 400)
+        with pytest.raises(PageOverflowError):
+            page.insert(b"y" * 400)
+
+    def test_view_reconstruction(self):
+        """A page view over existing bytes sees the stored records."""
+        buf = bytearray(512)
+        page = SlottedPage(buf, 512)
+        page.insert(b"persistent")
+        again = SlottedPage(buf, 512)
+        assert again.read(0) == b"persistent"
+
+    def test_wrong_buffer_size_rejected(self):
+        with pytest.raises(StorageError):
+            SlottedPage(bytearray(100), 512)
+
+
+class TestUpdate:
+    def test_same_size_in_place(self):
+        page = make_page()
+        slot = page.insert(b"aaaa")
+        page.update(slot, b"bbbb")
+        assert page.read(slot) == b"bbbb"
+
+    def test_shrinking(self):
+        page = make_page()
+        slot = page.insert(b"aaaaaaaa")
+        page.update(slot, b"bb")
+        assert page.read(slot) == b"bb"
+
+    def test_growing_within_space(self):
+        page = make_page()
+        slot = page.insert(b"aa")
+        page.update(slot, b"bbbbbbbb")
+        assert page.read(slot) == b"bbbbbbbb"
+
+    def test_growing_requires_compaction(self):
+        page = make_page()
+        a = page.insert(b"a" * 150)
+        b = page.insert(b"b" * 150)
+        page.update(a, b"c" * 100)  # leaves a 50-byte hole
+        grow = 150 + page.free_space  # only fits after compaction
+        page.update(b, b"d" * min(grow, 300))
+        assert page.read(b)[:1] == b"d"
+
+    def test_growing_beyond_page_rejected(self):
+        page = make_page()
+        slot = page.insert(b"a" * 100)
+        with pytest.raises(PageOverflowError):
+            page.update(slot, b"b" * 600)
+
+    def test_update_deleted_rejected(self):
+        page = make_page()
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(InvalidAddressError):
+            page.update(slot, b"y")
+
+
+class TestDelete:
+    def test_delete_tombstones(self):
+        page = make_page()
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(InvalidAddressError):
+            page.read(slot)
+
+    def test_double_delete_rejected(self):
+        page = make_page()
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(InvalidAddressError):
+            page.delete(slot)
+
+    def test_other_records_survive_delete(self):
+        page = make_page()
+        a = page.insert(b"aa")
+        b = page.insert(b"bb")
+        page.delete(a)
+        assert page.read(b) == b"bb"
+        assert page.live_records == 1
+
+    def test_records_iterator_skips_deleted(self):
+        page = make_page()
+        page.insert(b"aa")
+        b = page.insert(b"bb")
+        page.insert(b"cc")
+        page.delete(b)
+        assert [rec for _, rec in page.records()] == [b"aa", b"cc"]
+
+
+class TestCompaction:
+    def test_compact_preserves_records(self):
+        page = make_page()
+        slots = [page.insert(bytes([i]) * 20) for i in range(5)]
+        page.delete(slots[1])
+        page.delete(slots[3])
+        page.compact()
+        for i in (0, 2, 4):
+            assert page.read(slots[i]) == bytes([i]) * 20
+
+    def test_compact_reclaims_space(self):
+        page = make_page()
+        slots = [page.insert(b"x" * 80) for _ in range(4)]
+        for slot in slots[:3]:
+            page.delete(slot)
+        page.compact()
+        page.insert(b"y" * 200)  # reclaimed room
+
+    def test_used_bytes(self):
+        page = make_page()
+        page.insert(b"x" * 30)
+        page.insert(b"y" * 20)
+        assert page.used_bytes == 50
+
+
+# -- property-based -----------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "update"]), st.binary(min_size=1, max_size=40)),
+    max_size=30,
+)
+
+
+@given(ops)
+@settings(max_examples=60)
+def test_property_page_model_equivalence(operations):
+    """The slotted page behaves like a dict from slot to bytes."""
+    page = make_page(2048)
+    model: dict[int, bytes] = {}
+    live: list[int] = []
+    for op, payload in operations:
+        if op == "insert":
+            try:
+                slot = page.insert(payload)
+            except PageOverflowError:
+                continue
+            model[slot] = payload
+            live.append(slot)
+        elif op == "delete" and live:
+            slot = live.pop(0)
+            page.delete(slot)
+            del model[slot]
+        elif op == "update" and live:
+            slot = live[0]
+            try:
+                page.update(slot, payload)
+            except PageOverflowError:
+                continue
+            model[slot] = payload
+    assert {slot: rec for slot, rec in page.records()} == model
+    assert page.live_records == len(model)

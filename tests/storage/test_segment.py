@@ -1,0 +1,85 @@
+"""Unit tests for segments and the engine facade."""
+
+import pytest
+
+from repro.errors import InvalidAddressError
+from repro.storage import StorageEngine
+
+
+class TestSegment:
+    def test_empty_segment(self, engine):
+        seg = engine.new_segment("r")
+        assert seg.n_pages == 0
+        assert seg.last_page() is None
+        assert len(seg) == 0
+
+    def test_allocation_order_preserved(self, engine):
+        seg = engine.new_segment("r")
+        pids = []
+        for _ in range(5):
+            pid = seg.allocate_page()
+            engine.buffer.unfix(pid)
+            pids.append(pid)
+        assert seg.page_ids == pids
+        assert seg.last_page() == pids[-1]
+
+    def test_membership(self, engine):
+        seg = engine.new_segment("r")
+        pid = seg.allocate_page()
+        engine.buffer.unfix(pid)
+        assert pid in seg
+        assert (pid + 1000) not in seg
+
+    def test_page_at(self, engine):
+        seg = engine.new_segment("r")
+        pid = seg.allocate_page()
+        engine.buffer.unfix(pid)
+        assert seg.page_at(0) == pid
+        with pytest.raises(InvalidAddressError):
+            seg.page_at(5)
+
+    def test_segments_do_not_share_pages(self, engine):
+        a = engine.new_segment("a")
+        b = engine.new_segment("b")
+        pid_a = a.allocate_page()
+        engine.buffer.unfix(pid_a)
+        pid_b = b.allocate_page()
+        engine.buffer.unfix(pid_b)
+        assert pid_a != pid_b
+        assert pid_a not in b and pid_b not in a
+
+    def test_allocation_charges_no_read_io(self, engine):
+        seg = engine.new_segment("r")
+        engine.reset_metrics()
+        pid = seg.allocate_page()
+        engine.buffer.unfix(pid)
+        assert engine.metrics.snapshot().pages_read == 0
+
+
+class TestStorageEngine:
+    def test_shared_metrics(self, engine):
+        assert engine.disk.metrics is engine.metrics
+        assert engine.buffer.metrics is engine.metrics
+
+    def test_flush_persists(self, engine):
+        heap = engine.new_heap("r")
+        rid = heap.insert(b"payload")
+        engine.flush()
+        engine.restart_buffer()
+        assert heap.read(rid) == b"payload"
+
+    def test_restart_buffer_empties_cache(self, engine):
+        heap = engine.new_heap("r")
+        heap.insert(b"x")
+        engine.restart_buffer()
+        assert engine.buffer.resident_pages == 0
+
+    def test_reset_metrics(self, engine):
+        heap = engine.new_heap("r")
+        heap.insert(b"x")
+        engine.reset_metrics()
+        assert engine.metrics.snapshot().page_fixes == 0
+
+    def test_custom_policy(self):
+        engine = StorageEngine(buffer_pages=4, policy="clock")
+        assert engine.buffer.policy.name == "clock"
