@@ -1,11 +1,27 @@
-"""Setup shim.
+"""Setup script.
 
-The canonical build configuration lives in pyproject.toml; this file
-exists so that legacy tooling (and offline environments without the
-`wheel` package, where pip's PEP 660 editable path fails) can still do
-``pip install -e .`` or ``python setup.py develop``.
+Kept as an explicit ``setup()`` call (rather than pyproject-only
+metadata) so that offline environments without the ``wheel`` package —
+where pip's PEP 660 editable path fails — can still do
+``pip install -e .`` or ``python setup.py develop`` and get the
+``repro-experiments`` console script.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-complex-object-io",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'An Evaluation of Physical Disk I/Os for "
+        "Complex Object Processing' (ICDE 1993)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.cli:main",
+        ],
+    },
+)

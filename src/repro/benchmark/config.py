@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import BenchmarkError
+from repro.storage.backends import BACKEND_NAMES
 from repro.storage.constants import DEFAULT_BUFFER_PAGES, PAGE_SIZE
 
 
@@ -50,6 +51,22 @@ class BenchmarkConfig:
     buffer_pages: int = DEFAULT_BUFFER_PAGES
     policy: str = "lru"
 
+    #: Disk backend: "memory" (the simulator, default), "file" (real
+    #: ``pread``/``pwrite`` against a backing file), or "trace" (memory
+    #: plus a replayable JSONL call trace).  Metrics are identical
+    #: across backends; see :mod:`repro.storage.backends`.
+    backend: str = "memory"
+
+    #: Backend path: backing file for "file", JSONL output for "trace".
+    #: When several models run (one engine each) this is treated as a
+    #: directory and each engine writes ``<path>/<model>.jsonl`` /
+    #: ``<path>/<model>.pages``.  None = anonymous temp file / no file.
+    backend_path: str | None = None
+
+    #: Worker threads for running independent models concurrently
+    #: (each model builds its own engine, so runs are isolated).
+    jobs: int = 1
+
     # -- query workload -----------------------------------------------------
 
     #: Loops of queries 2b/3b; None = n_objects // 5 (the paper executes
@@ -77,6 +94,12 @@ class BenchmarkConfig:
             raise BenchmarkError("max_sightseeing must be non-negative")
         if self.loops is not None and self.loops < 1:
             raise BenchmarkError("loops must be positive when given")
+        if self.backend not in BACKEND_NAMES:
+            raise BenchmarkError(
+                f"unknown backend {self.backend!r} (known: {', '.join(BACKEND_NAMES)})"
+            )
+        if self.jobs < 1:
+            raise BenchmarkError("jobs must be at least 1")
 
     @property
     def effective_loops(self) -> int:

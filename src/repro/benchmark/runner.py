@@ -10,10 +10,13 @@ accesses (Section 5.1's accounting rules).
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.errors import BenchmarkError
 from repro.benchmark.generator import generate_stations
 from repro.benchmark.queries import QUERY_NAMES, QueryResult, QuerySuite
 from repro.benchmark.stats import DatabaseStatistics
@@ -65,33 +68,96 @@ class BenchmarkRunner:
         return DatabaseStatistics.from_stations(self.stations)
 
     def build_model(self, name: str) -> StorageModel:
-        """Create an engine, instantiate the model, bulk-load the data."""
+        """Create an engine, instantiate the model, bulk-load the data.
+
+        The engine uses the configured disk backend; callers that do
+        not run a full suite should ``model.engine.close()`` when done
+        (run_model does this), so file-backed engines release their
+        backing files.
+        """
         engine = StorageEngine(
             page_size=self.config.page_size,
             buffer_pages=self.config.buffer_pages,
             policy=self.config.policy,
+            backend=self.config.backend,
+            backend_path=self._backend_path_for(name),
         )
         model = create_model(name, engine, self.fmt)
         model.load(self.stations)
         return model
+
+    def _backend_path_for(self, name: str) -> str | None:
+        """Per-model backend path under ``config.backend_path``.
+
+        Each model gets its own engine, so each gets its own backing
+        file / trace file; distinct paths also keep concurrent model
+        runs (``jobs > 1``) from interleaving one file.  When the same
+        model runs again into the same directory (several experiments
+        or config variants in one invocation), a ``-2``/``-3``/...
+        suffix keeps the earlier file instead of clobbering it.
+        """
+        root = self.config.backend_path
+        if root is None or self.config.backend == "memory":
+            # The memory backend takes no path; creating reservation
+            # files for it would litter the directory with empty decoys.
+            return None
+        try:
+            os.makedirs(root, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise BenchmarkError(
+                f"backend_path {root!r} must be a directory (one file per model "
+                f"is created inside it): {exc}"
+            ) from None
+        suffix = ".jsonl" if self.config.backend == "trace" else ".pages"
+        serial = 1
+        while True:
+            stem = name if serial == 1 else f"{name}-{serial}"
+            path = os.path.join(root, f"{stem}{suffix}")
+            try:
+                # O_EXCL reserves the name atomically, so concurrent runs
+                # into one directory cannot race to the same file.
+                os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644))
+                return path
+            except FileExistsError:
+                serial += 1
 
     def run_model(
         self, name: str, queries: Sequence[str] = QUERY_NAMES
     ) -> ModelRun:
         """Load one model and run the requested queries."""
         model = self.build_model(name)
-        suite = QuerySuite(model, self.config)
-        results = suite.run_all(queries)
-        return ModelRun(
-            model_name=name,
-            results=results,
-            relation_pages=model.relation_pages(),
-        )
+        try:
+            suite = QuerySuite(model, self.config)
+            results = suite.run_all(queries)
+            return ModelRun(
+                model_name=name,
+                results=results,
+                relation_pages=model.relation_pages(),
+            )
+        finally:
+            model.engine.close()
 
     def run_models(
         self,
         names: Sequence[str] = MEASURED_MODELS,
         queries: Sequence[str] = QUERY_NAMES,
+        jobs: int | None = None,
     ) -> dict[str, ModelRun]:
-        """Run several models over the same extension."""
-        return {name: self.run_model(name, queries) for name in names}
+        """Run several models over the same extension.
+
+        ``jobs`` (default: ``config.jobs``) > 1 runs independent models
+        concurrently via :class:`~concurrent.futures.ThreadPoolExecutor`
+        — every model builds its own engine over the shared, already
+        generated extension, so runs are isolated and the result is
+        identical to the sequential order (the dict preserves ``names``
+        order either way).
+        """
+        if jobs is None:
+            jobs = self.config.jobs
+        names = list(names)
+        if jobs <= 1 or len(names) <= 1:
+            return {name: self.run_model(name, queries) for name in names}
+        self.stations  # materialise once, outside the worker threads
+        with ThreadPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            futures = {name: pool.submit(self.run_model, name, queries) for name in names}
+            return {name: futures[name].result() for name in names}

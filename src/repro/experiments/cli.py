@@ -5,6 +5,8 @@ Usage::
     repro-experiments                 # everything, full scale (slow)
     repro-experiments --fast          # everything, reduced scale
     repro-experiments table3 table4   # selected experiments
+    repro-experiments table4 --fast --backend file --jobs 4
+                                      # real file I/O, 4 models in parallel
     python -m repro.experiments       # same as repro-experiments
 """
 
@@ -16,6 +18,8 @@ import time
 from typing import Callable
 
 from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.errors import ReproError
+from repro.storage.backends import BACKEND_NAMES
 from repro.experiments import (
     ablations,
     distribution,
@@ -68,11 +72,51 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--objects", type=int, default=None, help="override the database size"
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help=(
+            "disk backend: 'memory' (simulated, default), 'file' (real "
+            "pread/pwrite against a backing file), 'trace' (memory plus a "
+            "replayable JSONL call trace); I/O counts are identical across "
+            "backends"
+        ),
+    )
+    parser.add_argument(
+        "--backend-path",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for per-model backend files (backing .pages files "
+            "for --backend file, .jsonl traces for --backend trace); "
+            "default: anonymous temp files (required for --backend trace)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run independent storage models with N worker threads (default 1)",
+    )
     args = parser.parse_args(argv)
 
     config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
     if args.objects:
         config = config.with_changes(n_objects=args.objects)
+    if args.backend == "trace" and not args.backend_path:
+        # Without a destination the recorded trace would be buffered in
+        # RAM and discarded when each engine closes.
+        parser.error("--backend trace requires --backend-path DIR for the JSONL traces")
+    if args.backend:
+        config = config.with_changes(backend=args.backend)
+    if args.backend_path:
+        config = config.with_changes(backend_path=args.backend_path)
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error("--jobs must be at least 1")
+        config = config.with_changes(jobs=args.jobs)
 
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
@@ -83,7 +127,11 @@ def main(argv: list[str] | None = None) -> int:
         )
     for name in selected:
         started = time.time()
-        print(EXPERIMENTS[name](config))
+        try:
+            print(EXPERIMENTS[name](config))
+        except ReproError as exc:
+            print(f"repro-experiments: error: {exc}", file=sys.stderr)
+            return 2
         print(f"[{name} finished in {time.time() - started:.1f}s]\n")
     return 0
 

@@ -44,12 +44,15 @@ def _measured_pages(config: BenchmarkConfig) -> dict[str, dict[str, int]]:
     out: dict[str, dict[str, int]] = {}
     for name in MEASURED_MODELS:
         model = runner.build_model(name)
-        folded: dict[str, int] = {}
-        for segment, pages in model.relation_pages().items():
-            logical = segment.replace("(small)", "").replace("(large)", "")
-            logical = logical.replace("_small", "").replace("_large", "")
-            folded[logical] = folded.get(logical, 0) + pages
-        out[name] = folded
+        try:
+            folded: dict[str, int] = {}
+            for segment, pages in model.relation_pages().items():
+                logical = segment.replace("(small)", "").replace("(large)", "")
+                logical = logical.replace("_small", "").replace("_large", "")
+                folded[logical] = folded.get(logical, 0) + pages
+            out[name] = folded
+        finally:
+            model.engine.close()
     return out
 
 

@@ -2,6 +2,8 @@
 
 Layered as a classical storage system:
 
+* :mod:`repro.storage.backends` — pluggable page-byte stores
+  (in-memory, file-backed via ``pread``/``pwrite``, trace-recording),
 * :mod:`repro.storage.disk` — simulated disk with I/O-call accounting,
 * :mod:`repro.storage.buffer` — fixed-capacity buffer manager with
   pluggable replacement and fix accounting,
@@ -18,6 +20,17 @@ on which a benchmark database is built.
 
 from __future__ import annotations
 
+from repro.storage.backends import (
+    BACKEND_NAMES,
+    DiskBackend,
+    FileBackend,
+    MemoryBackend,
+    TraceBackend,
+    TraceEvent,
+    load_trace,
+    make_backend,
+    replay_trace,
+)
 from repro.storage.buffer import BufferManager, make_policy
 from repro.storage.constants import (
     DEFAULT_BUFFER_PAGES,
@@ -47,9 +60,16 @@ class StorageEngine:
         page_size: int = PAGE_SIZE,
         buffer_pages: int = DEFAULT_BUFFER_PAGES,
         policy: str = "lru",
+        backend: str | DiskBackend = "memory",
+        backend_path: str | None = None,
     ) -> None:
         self.metrics = MetricsCollector()
-        self.disk = SimulatedDisk(page_size=page_size, metrics=self.metrics)
+        self.disk = SimulatedDisk(
+            page_size=page_size,
+            metrics=self.metrics,
+            backend=backend,
+            backend_path=backend_path,
+        )
         self.buffer = BufferManager(self.disk, capacity=buffer_pages, policy=policy)
         self.page_size = page_size
 
@@ -73,9 +93,24 @@ class StorageEngine:
         """Flush and empty the buffer: the next query starts cold."""
         self.buffer.clear()
 
+    def close(self) -> None:
+        """Flush, sync and release backend resources (backing files)."""
+        self.buffer.flush()
+        self.disk.sync()
+        self.disk.close()
+
 
 __all__ = [
+    "BACKEND_NAMES",
     "BufferManager",
+    "DiskBackend",
+    "FileBackend",
+    "MemoryBackend",
+    "TraceBackend",
+    "TraceEvent",
+    "load_trace",
+    "make_backend",
+    "replay_trace",
     "DiskGeometry",
     "HeapFile",
     "LongObjectAddress",

@@ -1,0 +1,476 @@
+"""Pluggable disk backends: where page bytes actually live.
+
+The :class:`~repro.storage.disk.SimulatedDisk` owns the *accounting*
+(what counts as an I/O call, Equation 1's ``X_calls``/``X_pages``) and
+the allocation bookkeeping; a :class:`DiskBackend` owns the *bytes*.
+Separating the two lets the same benchmark run against
+
+* :class:`MemoryBackend` — a dict of page images (the original
+  simulator; every existing table and figure reproduces bit-for-bit),
+* :class:`FileBackend` — real ``os.pread``/``os.pwrite`` against a
+  single backing file, so one simulated I/O call over a contiguous run
+  of pages becomes one vectorized syscall on real hardware,
+* :class:`TraceBackend` — a decorator that forwards to an inner
+  backend while recording every call to a replayable JSONL trace.
+
+Backends are deliberately dumb: no metrics, no allocation validation,
+no error policy.  All of that stays in ``SimulatedDisk`` so that the
+counters of Tables 4–6 are identical no matter which backend runs
+underneath — the whole point of the comparison.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import StorageError
+from repro.storage.constants import PAGE_SIZE
+
+#: Whether the platform offers one-syscall vectored positional I/O.
+_HAS_VECTORED = hasattr(os, "preadv") and hasattr(os, "pwritev")
+
+
+def _iov_max() -> int:
+    """Per-syscall buffer-count limit of preadv/pwritev (IOV_MAX)."""
+    try:
+        return os.sysconf("SC_IOV_MAX")
+    except (AttributeError, OSError, ValueError):  # pragma: no cover
+        return 1024
+
+
+#: Longest stretch one vectored syscall may carry.
+_IOV_MAX = _iov_max()
+
+#: Backend names accepted by :func:`make_backend` (and therefore by
+#: ``StorageEngine(backend=...)``, ``BenchmarkConfig.backend`` and the
+#: CLI ``--backend`` flag).
+BACKEND_NAMES = ("memory", "file", "trace")
+
+
+class DiskBackend:
+    """Protocol of a page-byte store (run-granular).
+
+    A *run* is the unit of one I/O call: ``read_run``/``write_run`` are
+    invoked exactly once per call the disk charges to the metrics, with
+    the page ids in request order.  ``allocate_run`` prepares a
+    contiguous range of zeroed pages, ``free`` releases one page, and
+    ``sync`` forces everything to stable storage (the "database
+    disconnect" of Section 5.2 maps to flush + sync).
+    """
+
+    #: Registry name of the backend class ("memory", "file", ...).
+    name = "abstract"
+
+    def allocate_run(self, start: int, count: int) -> None:
+        """Provide zeroed storage for pages ``start .. start+count-1``."""
+        raise NotImplementedError
+
+    def read_run(self, page_ids: Sequence[int]) -> list[bytes]:
+        """Return the images of ``page_ids`` (one I/O call)."""
+        raise NotImplementedError
+
+    def write_run(self, items: Sequence[tuple[int, bytes]]) -> None:
+        """Store the given page images (one I/O call)."""
+        raise NotImplementedError
+
+    def free(self, page_id: int) -> None:
+        """Release one page's storage."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Force written data to stable storage (no-op where moot)."""
+
+    def close(self) -> None:
+        """Release OS resources (files, descriptors).  Idempotent."""
+
+
+class MemoryBackend(DiskBackend):
+    """The original in-memory page store: a dict of page images."""
+
+    name = "memory"
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self._pages: dict[int, bytes] = {}
+
+    def allocate_run(self, start: int, count: int) -> None:
+        zero = bytes(self.page_size)
+        for page_id in range(start, start + count):
+            self._pages[page_id] = zero
+
+    def read_run(self, page_ids: Sequence[int]) -> list[bytes]:
+        return [self._pages[page_id] for page_id in page_ids]
+
+    def write_run(self, items: Sequence[tuple[int, bytes]]) -> None:
+        for page_id, data in items:
+            self._pages[page_id] = bytes(data)
+
+    def free(self, page_id: int) -> None:
+        self._pages.pop(page_id, None)
+
+
+class FileBackend(DiskBackend):
+    """Real file I/O: pages live at ``page_id * page_size`` in one file.
+
+    Every run is split into maximal contiguous page-id stretches; each
+    stretch is issued as **one** vectorized syscall (``os.preadv`` /
+    ``os.pwritev``), so the simulator's I/O-call count lower-bounds the
+    syscall count and equals it whenever the run is contiguous — the
+    mapping the paper's Equation 1 assumes for ``d1``.
+
+    With ``path=None`` an anonymous temporary file is used and removed
+    on :meth:`close` (the common case: one throwaway file per benchmark
+    engine).  A named ``path`` persists for inspection.
+    """
+
+    name = "file"
+
+    def __init__(self, page_size: int = PAGE_SIZE, path: str | None = None) -> None:
+        self.page_size = page_size
+        self._fd: int | None = None
+        if path is None:
+            fd, self.path = tempfile.mkstemp(prefix="repro-disk-", suffix=".pages")
+            self._unlink_on_close = True
+        else:
+            # O_TRUNC: a backend is a fresh page store; stale bytes from a
+            # previous run must not satisfy allocate_run's zeroing contract.
+            fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_TRUNC, 0o644)
+            self.path = path
+            self._unlink_on_close = False
+        self._fd = fd
+        self._size_pages = 0
+
+    # -- protocol ---------------------------------------------------------
+
+    def allocate_run(self, start: int, count: int) -> None:
+        fd = self._require_open()
+        end = start + count
+        if end > self._size_pages:
+            # ftruncate zero-fills only beyond the old end-of-file; any
+            # recycled pages below it must be re-zeroed explicitly.
+            recycled = max(0, self._size_pages - start)
+            os.ftruncate(fd, end * self.page_size)
+            self._size_pages = end
+            if recycled:
+                self._write_stretch(fd, start, [bytes(self.page_size)] * recycled)
+        else:
+            # Fully recycled region (e.g. after free): re-zero it.
+            self._write_stretch(fd, start, [bytes(self.page_size)] * count)
+
+    def read_run(self, page_ids: Sequence[int]) -> list[bytes]:
+        fd = self._require_open()
+        out: dict[int, bytes] = {}
+        for stretch in contiguous_runs(page_ids, max_len=_IOV_MAX):
+            offset = stretch[0] * self.page_size
+            if _HAS_VECTORED:
+                buffers = [bytearray(self.page_size) for _ in stretch]
+                got = os.preadv(fd, buffers, offset)
+                images = [bytes(buf) for buf in buffers]
+            else:  # pragma: no cover - non-vectored platforms
+                blob = os.pread(fd, len(stretch) * self.page_size, offset)
+                got = len(blob)
+                images = [
+                    blob[i * self.page_size : (i + 1) * self.page_size]
+                    for i in range(len(stretch))
+                ]
+            if got != len(stretch) * self.page_size:
+                raise StorageError(
+                    f"short read at page {stretch[0]}: {got} bytes"
+                )
+            for page_id, image in zip(stretch, images):
+                out[page_id] = image
+        return [out[page_id] for page_id in page_ids]
+
+    def write_run(self, items: Sequence[tuple[int, bytes]]) -> None:
+        fd = self._require_open()
+        items = list(items)
+        by_id = {page_id: data for page_id, data in items}
+        for stretch in contiguous_runs(
+            [page_id for page_id, _ in items], max_len=_IOV_MAX
+        ):
+            self._write_stretch(fd, stretch[0], [by_id[p] for p in stretch])
+
+    def free(self, page_id: int) -> None:
+        # The file keeps its extent; the disk layer guarantees freed
+        # pages are never read, and allocate_run re-zeroes on reuse.
+        pass
+
+    def sync(self) -> None:
+        if self._fd is not None:
+            os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+            if self._unlink_on_close:
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        if getattr(self, "_fd", None) is not None:
+            self.close()
+
+    # -- internals --------------------------------------------------------
+
+    def _require_open(self) -> int:
+        if self._fd is None:
+            raise StorageError("file backend is closed")
+        return self._fd
+
+    def _write_stretch(self, fd: int, start: int, images: Sequence[bytes]) -> None:
+        for base in range(0, len(images), _IOV_MAX):
+            chunk = images[base : base + _IOV_MAX]
+            offset = (start + base) * self.page_size
+            if _HAS_VECTORED:
+                written = os.pwritev(fd, chunk, offset)
+            else:  # pragma: no cover - non-vectored platforms
+                written = os.pwrite(fd, b"".join(chunk), offset)
+            if written != len(chunk) * self.page_size:
+                raise StorageError(
+                    f"short write at page {start + base}: {written} bytes"
+                )
+        self._size_pages = max(self._size_pages, start + len(images))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded backend call: ``(op, page_ids, t)`` plus payload."""
+
+    seq: int
+    t: float
+    op: str
+    pages: tuple[int, ...]
+    data: tuple[bytes, ...] | None = None
+
+
+class TraceBackend(DiskBackend):
+    """Decorator backend: forwards every call and records it.
+
+    The trace is kept in memory (:attr:`events`) and, when ``path`` is
+    given, streamed to a JSONL file — one JSON object per line, in call
+    order:
+
+    .. code-block:: text
+
+        {"seq": 0, "t": 0.0000, "op": "allocate", "pages": [0, 1, 2]}
+        {"seq": 1, "t": 0.0001, "op": "write", "pages": [0, 1],
+         "data": ["<hex page image>", "<hex page image>"]}
+        {"seq": 2, "t": 0.0002, "op": "read", "pages": [0]}
+        {"seq": 3, "t": 0.0003, "op": "free", "pages": [0]}
+        {"seq": 4, "t": 0.0004, "op": "sync", "pages": []}
+
+    ``seq`` is the call number, ``t`` the monotonic time in seconds
+    since the first call, ``op`` one of ``allocate`` / ``read`` /
+    ``write`` / ``free`` / ``sync``, and ``pages`` the page ids of the
+    call in request order — so ``len(lines with op in (read, write))``
+    is ``X_calls`` and the summed lengths of their ``pages`` is
+    ``X_pages``, Equation 1 straight off the trace.  Write records
+    carry the page images hex-encoded so the trace is *replayable*:
+    :func:`replay_trace` rebuilds identical page contents on any
+    backend.
+
+    When streaming to a file, write payloads live only in the file
+    (replay with :func:`load_trace`); the in-memory :attr:`events`
+    keep payloads only when no ``path`` is given, so a long run does
+    not hold every written page in RAM twice.
+    """
+
+    name = "trace"
+
+    def __init__(self, inner: DiskBackend | None = None, path: str | None = None) -> None:
+        self.inner = inner if inner is not None else MemoryBackend()
+        self.events: list[TraceEvent] = []
+        self.path = path
+        self._file: io.TextIOBase | None = None
+        if path is not None:
+            self._file = open(path, "w", encoding="utf-8")
+        self._t0: float | None = None
+
+    # -- protocol ---------------------------------------------------------
+
+    def allocate_run(self, start: int, count: int) -> None:
+        self.inner.allocate_run(start, count)
+        self._record("allocate", tuple(range(start, start + count)))
+
+    def read_run(self, page_ids: Sequence[int]) -> list[bytes]:
+        out = self.inner.read_run(page_ids)
+        self._record("read", tuple(page_ids))
+        return out
+
+    def write_run(self, items: Sequence[tuple[int, bytes]]) -> None:
+        items = list(items)
+        self.inner.write_run(items)
+        self._record(
+            "write",
+            tuple(page_id for page_id, _ in items),
+            tuple(bytes(data) for _, data in items),
+        )
+
+    def free(self, page_id: int) -> None:
+        self.inner.free(page_id)
+        self._record("free", (page_id,))
+
+    def sync(self) -> None:
+        self.inner.sync()
+        self._record("sync", ())
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self.inner.close()
+
+    # -- recording --------------------------------------------------------
+
+    def _record(
+        self, op: str, pages: tuple[int, ...], data: tuple[bytes, ...] | None = None
+    ) -> None:
+        now = time.monotonic()
+        if self._t0 is None:
+            self._t0 = now
+        event = TraceEvent(len(self.events), now - self._t0, op, pages, data)
+        if self._file is not None:
+            self._file.write(json.dumps(_event_to_json(event)) + "\n")
+            # The file holds the payloads; keeping them in memory too
+            # would grow RAM by every page ever written.  Replay a
+            # streamed trace from the file (load_trace), not from
+            # ``events``.
+            if data is not None:
+                event = TraceEvent(event.seq, event.t, op, pages, None)
+        self.events.append(event)
+
+
+def _event_to_json(event: TraceEvent) -> dict:
+    record: dict = {
+        "seq": event.seq,
+        "t": round(event.t, 6),
+        "op": event.op,
+        "pages": list(event.pages),
+    }
+    if event.data is not None:
+        record["data"] = [image.hex() for image in event.data]
+    return record
+
+
+def load_trace(source: str | Iterable[str]) -> list[TraceEvent]:
+    """Parse a JSONL trace (a path or an iterable of lines)."""
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    events = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append(
+            TraceEvent(
+                seq=record["seq"],
+                t=record["t"],
+                op=record["op"],
+                pages=tuple(record["pages"]),
+                data=(
+                    tuple(bytes.fromhex(image) for image in record["data"])
+                    if "data" in record
+                    else None
+                ),
+            )
+        )
+    return events
+
+
+def replay_trace(
+    source: str | Iterable[str] | Sequence[TraceEvent],
+    backend: DiskBackend,
+) -> int:
+    """Re-apply a recorded trace against ``backend``; returns the count.
+
+    Allocations, writes, frees and syncs are re-issued verbatim (writes
+    restore the recorded page images); reads are re-issued too, so a
+    replay exercises the same call pattern the original run produced —
+    the input Darmont-style clustering studies need.
+    """
+    if isinstance(source, str):
+        events = load_trace(source)
+    else:
+        items = list(source)
+        if items and isinstance(items[0], TraceEvent):
+            events = items  # type: ignore[assignment]
+        else:
+            events = load_trace(items)  # type: ignore[arg-type]
+    for event in events:
+        if event.op == "allocate":
+            if event.pages:
+                backend.allocate_run(event.pages[0], len(event.pages))
+        elif event.op == "write":
+            if event.data is None:
+                raise StorageError(
+                    "write event has no payload; a streamed trace keeps "
+                    "payloads in its file — replay it via load_trace(path)"
+                )
+            backend.write_run(list(zip(event.pages, event.data)))
+        elif event.op == "read":
+            backend.read_run(event.pages)
+        elif event.op == "free":
+            backend.free(event.pages[0])
+        elif event.op == "sync":
+            backend.sync()
+        else:
+            raise StorageError(f"unknown trace op {event.op!r}")
+    return len(events)
+
+
+def make_backend(
+    spec: str | DiskBackend,
+    page_size: int = PAGE_SIZE,
+    path: str | None = None,
+) -> DiskBackend:
+    """Instantiate a backend from a name (or pass an instance through).
+
+    ``path`` is the backing file for ``file`` and the JSONL output for
+    ``trace`` (which wraps a fresh :class:`MemoryBackend`).
+    """
+    if isinstance(spec, DiskBackend):
+        return spec
+    if spec == "memory":
+        return MemoryBackend(page_size)
+    if spec == "file":
+        return FileBackend(page_size, path=path)
+    if spec == "trace":
+        return TraceBackend(MemoryBackend(page_size), path=path)
+    raise StorageError(
+        f"unknown disk backend {spec!r} (known: {', '.join(BACKEND_NAMES)})"
+    )
+
+
+def contiguous_runs(
+    page_ids: Sequence[int], max_len: int | None = None
+) -> Iterable[list[int]]:
+    """Split page ids into maximal runs of adjacent ids.
+
+    ``max_len`` caps a run's length (the buffer manager's write-batch
+    limit); None = unbounded (the file backend's syscall grouping).
+    """
+    run: list[int] = []
+    for page_id in page_ids:
+        if run and (
+            page_id != run[-1] + 1 or (max_len is not None and len(run) >= max_len)
+        ):
+            yield run
+            run = []
+        run.append(page_id)
+    if run:
+        yield run

@@ -24,6 +24,7 @@ from collections import OrderedDict
 from typing import Iterable, Sequence
 
 from repro.errors import BufferError_, BufferFullError, InvalidAddressError
+from repro.storage.backends import contiguous_runs
 from repro.storage.constants import DEFAULT_BUFFER_PAGES, WRITE_BATCH_MAX
 from repro.storage.disk import SimulatedDisk
 
@@ -163,12 +164,22 @@ POLICIES = {
 }
 
 
-def make_policy(name: str) -> ReplacementPolicy:
-    """Instantiate a replacement policy by name."""
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name.
+
+    Constructor keyword arguments pass through, so ablations can vary
+    e.g. the random-replacement seed: ``make_policy("random", seed=7)``.
+    """
     try:
-        return POLICIES[name]()
+        cls = POLICIES[name]
     except KeyError:
         raise BufferError_(f"unknown replacement policy {name!r}") from None
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise BufferError_(
+            f"replacement policy {name!r} rejected arguments {kwargs!r}: {exc}"
+        ) from None
 
 
 class BufferManager:
@@ -372,11 +383,4 @@ class BufferManager:
 
 def _contiguous_batches(page_ids: Sequence[int], batch_max: int) -> Iterable[list[int]]:
     """Split sorted page ids into runs of adjacent ids, capped in length."""
-    batch: list[int] = []
-    for pid in page_ids:
-        if batch and (pid != batch[-1] + 1 or len(batch) >= batch_max):
-            yield batch
-            batch = []
-        batch.append(pid)
-    if batch:
-        yield batch
+    return contiguous_runs(page_ids, max_len=batch_max)

@@ -1,11 +1,16 @@
 """Simulated disk: a page store with I/O-call accounting.
 
-The disk keeps pages in memory (this is a simulator — the paper's
-numbers are *counts* of physical transfers, not wall-clock times) and
-charges every transfer to a :class:`~repro.storage.metrics.MetricsCollector`:
-one *call* per :meth:`read_pages`/:meth:`write_pages` invocation and one
-*page* per page transferred.  This is exactly the split of Equation 1:
+The disk charges every transfer to a
+:class:`~repro.storage.metrics.MetricsCollector`: one *call* per
+:meth:`read_pages`/:meth:`write_pages` invocation and one *page* per
+page transferred.  This is exactly the split of Equation 1:
 ``C_disk = d1 * X_calls + d2 * X_pages``.
+
+Where the page bytes live is delegated to a pluggable
+:class:`~repro.storage.backends.DiskBackend` (in-memory dict, a real
+backing file, or a trace recorder — see :mod:`repro.storage.backends`).
+Allocation bookkeeping and accounting stay here, so the counters are
+identical for every backend.
 
 An optional :class:`DiskGeometry` converts the two counters into an
 estimated service time, used by the extended cost reports.
@@ -17,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import InvalidAddressError, StorageError
+from repro.storage.backends import DiskBackend, make_backend
 from repro.storage.constants import PAGE_SIZE
 from repro.storage.metrics import MetricsCollector, MetricsSnapshot
 
@@ -52,47 +58,59 @@ class SimulatedDisk:
     group into calls, mirroring how DASDBS "uses separate I/O calls to
     retrieve the root page ..., the additional header pages ..., and
     the data pages" (Section 5.2).
+
+    ``backend`` selects where the bytes live ("memory", "file",
+    "trace", or a :class:`~repro.storage.backends.DiskBackend`
+    instance); the accounting is backend-independent.
     """
 
     def __init__(
         self,
         page_size: int = PAGE_SIZE,
         metrics: MetricsCollector | None = None,
+        backend: str | DiskBackend = "memory",
+        backend_path: str | None = None,
     ) -> None:
         if page_size <= 64:
             raise StorageError("page size unreasonably small")
         self.page_size = page_size
         self.metrics = metrics if metrics is not None else MetricsCollector()
-        self._pages: dict[int, bytes] = {}
+        self.backend = make_backend(backend, page_size, path=backend_path)
+        self._allocated: set[int] = set()
         self._next_id = 0
 
     # -- allocation ---------------------------------------------------------
 
     def allocate(self) -> int:
         """Allocate one new zeroed page and return its id."""
-        page_id = self._next_id
-        self._next_id += 1
-        self._pages[page_id] = bytes(self.page_size)
-        return page_id
+        return self.allocate_many(1)[0]
 
     def allocate_many(self, count: int) -> list[int]:
         """Allocate ``count`` consecutive pages (contiguous ids)."""
         if count < 0:
             raise StorageError("cannot allocate a negative number of pages")
-        return [self.allocate() for _ in range(count)]
+        if count == 0:
+            return []
+        start = self._next_id
+        self._next_id += count
+        self.backend.allocate_run(start, count)
+        page_ids = list(range(start, start + count))
+        self._allocated.update(page_ids)
+        return page_ids
 
     def free(self, page_id: int) -> None:
         """Release a page.  Freed pages may not be read again."""
         self._require(page_id)
-        del self._pages[page_id]
+        self._allocated.discard(page_id)
+        self.backend.free(page_id)
 
     @property
     def allocated_pages(self) -> int:
         """Number of currently allocated pages."""
-        return len(self._pages)
+        return len(self._allocated)
 
     def is_allocated(self, page_id: int) -> bool:
-        return page_id in self._pages
+        return page_id in self._allocated
 
     # -- transfers ------------------------------------------------------------
 
@@ -103,7 +121,7 @@ class SimulatedDisk:
         for page_id in page_ids:
             self._require(page_id)
         self.metrics.record_read_call(len(page_ids))
-        return [self._pages[page_id] for page_id in page_ids]
+        return self.backend.read_run(page_ids)
 
     def read_page(self, page_id: int) -> bytes:
         """Read one page in one I/O call."""
@@ -122,15 +140,24 @@ class SimulatedDisk:
         if not staged:
             return
         self.metrics.record_write_call(len(staged))
-        for page_id, data in staged:
-            self._pages[page_id] = data
+        self.backend.write_run(staged)
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write one page in one I/O call."""
         self.write_pages([(page_id, data)])
 
+    # -- lifecycle -------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Force written pages to stable storage (not an I/O call)."""
+        self.backend.sync()
+
+    def close(self) -> None:
+        """Release backend resources (backing files, descriptors)."""
+        self.backend.close()
+
     # -- internals -------------------------------------------------------------
 
     def _require(self, page_id: int) -> None:
-        if page_id not in self._pages:
+        if page_id not in self._allocated:
             raise InvalidAddressError(f"page {page_id} is not allocated")

@@ -166,3 +166,19 @@ class TestCLI:
     def test_cli_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["tableX"])
+
+    def test_cli_backend_flag(self, capsys, tmp_path):
+        code = main(
+            ["table3", "--fast", "--objects", "50", "--backend", "file",
+             "--backend-path", str(tmp_path / "pages")]
+        )
+        assert code == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_cli_trace_requires_backend_path(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--fast", "--backend", "trace"])
+
+    def test_cli_rejects_nonpositive_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--jobs", "0"])

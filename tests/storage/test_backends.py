@@ -1,0 +1,289 @@
+"""Unit tests for the pluggable disk backends and trace replay."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.backends import (
+    BACKEND_NAMES,
+    FileBackend,
+    MemoryBackend,
+    TraceBackend,
+    TraceEvent,
+    load_trace,
+    make_backend,
+    replay_trace,
+)
+from repro.storage.disk import SimulatedDisk
+
+PAGE = 256
+
+
+@pytest.fixture(params=["memory", "file", "trace"])
+def backend(request, tmp_path):
+    if request.param == "file":
+        b = FileBackend(PAGE, path=str(tmp_path / "disk.pages"))
+    elif request.param == "trace":
+        b = TraceBackend(MemoryBackend(PAGE), path=str(tmp_path / "trace.jsonl"))
+    else:
+        b = MemoryBackend(PAGE)
+    yield b
+    b.close()
+
+
+class TestBackendContract:
+    """Every backend obeys the same read/write/allocate semantics."""
+
+    def test_allocated_pages_zeroed(self, backend):
+        backend.allocate_run(0, 3)
+        assert backend.read_run([0, 1, 2]) == [bytes(PAGE)] * 3
+
+    def test_write_then_read(self, backend):
+        backend.allocate_run(0, 2)
+        backend.write_run([(0, b"\x01" * PAGE), (1, b"\x02" * PAGE)])
+        assert backend.read_run([1, 0]) == [b"\x02" * PAGE, b"\x01" * PAGE]
+
+    def test_noncontiguous_run(self, backend):
+        backend.allocate_run(0, 5)
+        backend.write_run([(0, b"a" * PAGE), (2, b"c" * PAGE), (4, b"e" * PAGE)])
+        assert backend.read_run([4, 0, 2]) == [
+            b"e" * PAGE,
+            b"a" * PAGE,
+            b"c" * PAGE,
+        ]
+
+    def test_sync_is_safe(self, backend):
+        backend.allocate_run(0, 1)
+        backend.sync()
+
+
+class TestFileBackend:
+    def test_bytes_land_in_file(self, tmp_path):
+        path = str(tmp_path / "disk.pages")
+        b = FileBackend(PAGE, path=path)
+        b.allocate_run(0, 2)
+        b.write_run([(1, b"\x07" * PAGE)])
+        b.sync()
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        assert raw == bytes(PAGE) + b"\x07" * PAGE
+        b.close()
+
+    def test_anonymous_file_removed_on_close(self):
+        b = FileBackend(PAGE)
+        path = b.path
+        assert os.path.exists(path)
+        b.close()
+        assert not os.path.exists(path)
+
+    def test_closed_backend_rejects_io(self):
+        b = FileBackend(PAGE)
+        b.close()
+        with pytest.raises(StorageError):
+            b.read_run([0])
+
+    def test_close_idempotent(self):
+        b = FileBackend(PAGE)
+        b.close()
+        b.close()
+
+    def test_reopened_named_path_truncated(self, tmp_path):
+        """A backend is a fresh store: stale bytes from a previous run
+        must not leak into newly allocated pages."""
+        path = str(tmp_path / "disk.pages")
+        first = FileBackend(PAGE, path=path)
+        first.allocate_run(0, 2)
+        first.write_run([(0, b"old" * (PAGE // 3) + b"o"), (1, b"\xaa" * PAGE)])
+        first.close()
+        second = FileBackend(PAGE, path=path)
+        second.allocate_run(0, 2)
+        assert second.read_run([0, 1]) == [bytes(PAGE)] * 2
+        second.close()
+
+    def test_failed_open_does_not_break_gc(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FileBackend(PAGE, path=str(tmp_path / "missing-dir" / "f.pages"))
+
+    def test_recycled_region_rezeroed(self, tmp_path):
+        b = FileBackend(PAGE, path=str(tmp_path / "disk.pages"))
+        b.allocate_run(0, 2)
+        b.write_run([(0, b"x" * PAGE)])
+        b.free(0)
+        b.allocate_run(0, 1)
+        assert b.read_run([0]) == [bytes(PAGE)]
+        b.close()
+
+    def test_stretch_longer_than_iov_max(self, tmp_path):
+        """A contiguous run above IOV_MAX must be chunked, not EINVAL."""
+        from repro.storage import backends
+
+        n = backends._IOV_MAX + 25
+        b = FileBackend(PAGE, path=str(tmp_path / "big.pages"))
+        b.allocate_run(0, n)
+        b.write_run([(i, bytes([i % 251]) * PAGE) for i in range(n)])
+        images = b.read_run(list(range(n)))
+        assert images == [bytes([i % 251]) * PAGE for i in range(n)]
+        b.close()
+
+    def test_straddling_allocation_rezeroed(self, tmp_path):
+        """An allocation overlapping the old extent AND growing the file
+        must zero both parts, not just the grown tail."""
+        b = FileBackend(PAGE, path=str(tmp_path / "disk.pages"))
+        b.allocate_run(0, 2)
+        b.write_run([(1, b"x" * PAGE)])
+        b.free(1)
+        b.allocate_run(1, 2)  # page 1 recycled, page 2 new
+        assert b.read_run([1, 2]) == [bytes(PAGE)] * 2
+        b.close()
+
+
+class TestTraceBackend:
+    def test_records_calls_in_order(self):
+        b = TraceBackend(MemoryBackend(PAGE))
+        b.allocate_run(0, 2)
+        b.write_run([(0, b"q" * PAGE)])
+        b.read_run([0, 1])
+        b.free(1)
+        b.sync()
+        assert [e.op for e in b.events] == [
+            "allocate",
+            "write",
+            "read",
+            "free",
+            "sync",
+        ]
+        assert b.events[2].pages == (0, 1)
+        assert [e.seq for e in b.events] == [0, 1, 2, 3, 4]
+        assert all(e.t >= 0.0 for e in b.events)
+
+    def test_jsonl_lines_parse(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        b = TraceBackend(MemoryBackend(PAGE), path=path)
+        b.allocate_run(0, 1)
+        b.write_run([(0, b"z" * PAGE)])
+        b.close()
+        with open(path, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert [r["op"] for r in records] == ["allocate", "write"]
+        assert records[1]["pages"] == [0]
+        assert bytes.fromhex(records[1]["data"][0]) == b"z" * PAGE
+
+    def test_streaming_trace_keeps_payloads_in_file_only(self, tmp_path):
+        """With a JSONL path the write payloads go to the file, not RAM."""
+        path = str(tmp_path / "trace.jsonl")
+        b = TraceBackend(MemoryBackend(PAGE), path=path)
+        b.allocate_run(0, 1)
+        b.write_run([(0, b"p" * PAGE)])
+        assert b.events[1].data is None
+        b.close()
+        events = load_trace(path)
+        assert events[1].data == (b"p" * PAGE,)
+
+    def test_load_trace_round_trips_events(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        b = TraceBackend(MemoryBackend(PAGE), path=path)
+        b.allocate_run(0, 2)
+        b.write_run([(1, b"k" * PAGE)])
+        b.close()
+        events = load_trace(path)
+        assert events == [
+            TraceEvent(0, events[0].t, "allocate", (0, 1)),
+            TraceEvent(1, events[1].t, "write", (1,), (b"k" * PAGE,)),
+        ]
+
+    def test_replay_reproduces_page_contents(self, tmp_path):
+        """Satellite acceptance: a recorded trace replays to the same
+        page contents on a fresh backend."""
+        path = str(tmp_path / "trace.jsonl")
+        traced = TraceBackend(MemoryBackend(PAGE), path=path)
+        disk = SimulatedDisk(page_size=PAGE, backend=traced)
+        pids = disk.allocate_many(6)
+        disk.write_pages((pid, bytes([pid + 1]) * PAGE) for pid in pids[:4])
+        disk.write_page(pids[5], b"\xff" * PAGE)
+        disk.free(pids[4])
+        disk.sync()
+        disk.close()
+
+        replayed = MemoryBackend(PAGE)
+        n = replay_trace(path, replayed)
+        assert n == len(load_trace(path))
+        live = [pid for pid in pids if pid != pids[4]]
+        assert replayed.read_run(live) == traced.inner.read_run(live)
+
+    def test_replay_onto_file_backend(self, tmp_path):
+        traced = TraceBackend(MemoryBackend(PAGE))
+        traced.allocate_run(0, 3)
+        traced.write_run([(0, b"A" * PAGE), (2, b"C" * PAGE)])
+        replayed = FileBackend(PAGE, path=str(tmp_path / "replayed.pages"))
+        replay_trace(traced.events, replayed)
+        assert replayed.read_run([0, 1, 2]) == traced.inner.read_run([0, 1, 2])
+        replayed.close()
+
+    def test_replay_rejects_unknown_op(self):
+        with pytest.raises(StorageError):
+            replay_trace([TraceEvent(0, 0.0, "defrag", (1,))], MemoryBackend(PAGE))
+
+    def test_replay_of_streamed_events_has_clear_error(self, tmp_path):
+        """Streamed traces strip payloads from memory; replaying the
+        in-memory events must say to use load_trace, not crash."""
+        b = TraceBackend(MemoryBackend(PAGE), path=str(tmp_path / "t.jsonl"))
+        b.allocate_run(0, 1)
+        b.write_run([(0, b"s" * PAGE)])
+        b.close()
+        with pytest.raises(StorageError, match="load_trace"):
+            replay_trace(b.events, MemoryBackend(PAGE))
+
+
+class TestMakeBackend:
+    def test_known_names(self):
+        assert set(BACKEND_NAMES) == {"memory", "file", "trace"}
+        for name in BACKEND_NAMES:
+            b = make_backend(name, PAGE)
+            assert b.name == name
+            b.close()
+
+    def test_instance_passes_through(self):
+        b = MemoryBackend(PAGE)
+        assert make_backend(b) is b
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(StorageError):
+            make_backend("cloud", PAGE)
+
+
+class TestDiskOverBackends:
+    """The disk's accounting and validation are backend-independent."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_identical_metrics_across_backends(self, name, tmp_path):
+        disk = SimulatedDisk(
+            page_size=PAGE,
+            backend=name,
+            backend_path=(
+                str(tmp_path / f"disk-{name}") if name != "memory" else None
+            ),
+        )
+        pids = disk.allocate_many(8)
+        disk.read_pages(pids[:5])
+        disk.read_page(pids[6])
+        disk.write_pages((pid, b"w" * PAGE) for pid in pids[:3])
+        snap = disk.metrics.snapshot()
+        assert (snap.read_calls, snap.pages_read) == (2, 6)
+        assert (snap.write_calls, snap.pages_written) == (1, 3)
+        disk.close()
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_contents_survive_round_trip(self, name, tmp_path):
+        disk = SimulatedDisk(
+            page_size=PAGE,
+            backend=name,
+            backend_path=(
+                str(tmp_path / f"rt-{name}") if name != "memory" else None
+            ),
+        )
+        pids = disk.allocate_many(4)
+        disk.write_pages((pid, bytes([pid]) * PAGE) for pid in pids)
+        assert disk.read_pages(pids) == [bytes([pid]) * PAGE for pid in pids]
+        disk.close()

@@ -211,6 +211,27 @@ class TestEviction:
         with pytest.raises(BufferError_):
             make_policy("mru")
 
+    def test_policy_kwargs_pass_through(self):
+        """Ablations can vary the random-replacement seed."""
+        seeded = make_policy("random", seed=7)
+        default = make_policy("random")
+        pages = list(range(20))
+        for policy in (seeded, default):
+            for pid in pages:
+                policy.on_insert(pid)
+        assert list(seeded.victims()) != list(default.victims())
+
+    def test_policy_kwargs_deterministic_per_seed(self):
+        a, b = make_policy("random", seed=7), make_policy("random", seed=7)
+        for policy in (a, b):
+            for pid in range(20):
+                policy.on_insert(pid)
+        assert list(a.victims()) == list(b.victims())
+
+    def test_policy_rejects_unknown_kwargs(self):
+        with pytest.raises(BufferError_):
+            make_policy("lru", seed=7)
+
 
 class TestFlush:
     def test_flush_batches_contiguous(self):
