@@ -1,0 +1,33 @@
+"""Bench: the workload × buffer sensitivity sweep (reduced grid)."""
+
+from conftest import run_once
+
+from repro.experiments import sweep
+
+#: A grid small enough for the bench harness but crossing every axis.
+WORKLOADS = ("uniform", "zipf(1.0)")
+POLICIES = ("lru", "lru-k", "2q")
+
+
+def capacities(config):
+    """Bracket the configured buffer: a quarter, the default, 4x."""
+    return (
+        max(8, config.buffer_pages // 4),
+        config.buffer_pages,
+        config.buffer_pages * 4,
+    )
+
+
+def test_sweep(benchmark, config):
+    text = run_once(
+        benchmark,
+        lambda: sweep.render(
+            config,
+            workloads=WORKLOADS,
+            capacities=capacities(config),
+            policies=POLICIES,
+        ),
+    )
+    print()
+    print(text)
+    benchmark.extra_info["rows"] = len(text.splitlines())

@@ -36,7 +36,13 @@ from repro.benchmark import (
     DatabaseStatistics,
     QuerySuite,
     SKEWED_CONFIG,
+    WorkloadExecutor,
+    WorkloadResult,
+    WorkloadSpec,
+    compile_trace,
     generate_stations,
+    parse_workload,
+    run_workload,
 )
 from repro.core import (
     AnalyticalEvaluator,
@@ -68,10 +74,16 @@ __all__ = [
     "StorageEngine",
     "StorageFormat",
     "StorageModel",
+    "WorkloadExecutor",
     "WorkloadParameters",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "compile_trace",
     "create_model",
     "derive_parameters",
     "generate_stations",
     "paper_parameters",
+    "parse_workload",
+    "run_workload",
     "__version__",
 ]

@@ -5,7 +5,9 @@
 * :mod:`repro.benchmark.generator` — randomised extension generation,
 * :mod:`repro.benchmark.stats` — extension statistics,
 * :mod:`repro.benchmark.queries` — queries 1a–3b,
-* :mod:`repro.benchmark.runner` — per-model measurement orchestration.
+* :mod:`repro.benchmark.runner` — per-model measurement orchestration,
+* :mod:`repro.benchmark.workload` — synthetic workload engine (seeded
+  spec → deterministic trace → executor) for the sensitivity sweeps.
 """
 
 from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG, SKEWED_CONFIG
@@ -22,8 +24,30 @@ from repro.benchmark.schema import (
     oid_of_key,
 )
 from repro.benchmark.stats import DatabaseStatistics
+from repro.benchmark.workload import (
+    OP_KINDS,
+    PRESET_WORKLOADS,
+    Operation,
+    WorkloadExecutor,
+    WorkloadResult,
+    WorkloadSpec,
+    WorkloadTrace,
+    compile_trace,
+    parse_workload,
+    run_workload,
+)
 
 __all__ = [
+    "OP_KINDS",
+    "Operation",
+    "PRESET_WORKLOADS",
+    "WorkloadExecutor",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "compile_trace",
+    "parse_workload",
+    "run_workload",
     "BenchmarkConfig",
     "BenchmarkRunner",
     "CONNECTION_SCHEMA",

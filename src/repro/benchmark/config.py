@@ -13,6 +13,7 @@ from dataclasses import dataclass, replace
 
 from repro.errors import BenchmarkError
 from repro.storage.backends import BACKEND_NAMES
+from repro.storage.buffer import POLICY_NAMES
 from repro.storage.constants import DEFAULT_BUFFER_PAGES, PAGE_SIZE
 
 
@@ -49,6 +50,11 @@ class BenchmarkConfig:
 
     page_size: int = PAGE_SIZE
     buffer_pages: int = DEFAULT_BUFFER_PAGES
+
+    #: Buffer replacement policy: "lru" (the DASDBS-like default),
+    #: "fifo", "clock", "random", "lru-k" (LRU-2) or "2q"; the
+    #: sensitivity sweeps (:mod:`repro.experiments.sweep`) cross this
+    #: axis against buffer capacities and workloads.
     policy: str = "lru"
 
     #: Disk backend: "memory" (the simulator, default), "file" (real
@@ -94,6 +100,13 @@ class BenchmarkConfig:
             raise BenchmarkError("max_sightseeing must be non-negative")
         if self.loops is not None and self.loops < 1:
             raise BenchmarkError("loops must be positive when given")
+        if self.buffer_pages < 1:
+            raise BenchmarkError("buffer_pages must be at least 1")
+        if self.policy not in POLICY_NAMES:
+            raise BenchmarkError(
+                f"unknown replacement policy {self.policy!r} "
+                f"(known: {', '.join(POLICY_NAMES)})"
+            )
         if self.backend not in BACKEND_NAMES:
             raise BenchmarkError(
                 f"unknown backend {self.backend!r} (known: {', '.join(BACKEND_NAMES)})"

@@ -20,6 +20,13 @@ from repro.errors import BenchmarkError
 from repro.benchmark.generator import generate_stations
 from repro.benchmark.queries import QUERY_NAMES, QueryResult, QuerySuite
 from repro.benchmark.stats import DatabaseStatistics
+from repro.benchmark.workload import (
+    WorkloadExecutor,
+    WorkloadResult,
+    WorkloadSpec,
+    WorkloadTrace,
+    compile_trace,
+)
 from repro.models.base import StorageModel
 from repro.models.registry import MEASURED_MODELS, create_model
 from repro.nf2.serializer import DASDBS_FORMAT, StorageFormat
@@ -63,6 +70,18 @@ class BenchmarkRunner:
         if self._stations is None:
             self._stations = generate_stations(self.config)
         return self._stations
+
+    def adopt_extension(self, stations: list[NestedTuple]) -> None:
+        """Share an already generated extension instead of regenerating.
+
+        The sensitivity sweeps build one runner per engine configuration
+        (buffer capacity × policy); the extension depends only on the
+        data knobs, so one generation feeds every grid cell.  The list
+        is adopted as-is (models never mutate loaded stations).
+        """
+        if self._stations is not None:
+            raise BenchmarkError("runner already has a generated extension")
+        self._stations = stations
 
     def statistics(self) -> DatabaseStatistics:
         return DatabaseStatistics.from_stations(self.stations)
@@ -134,6 +153,29 @@ class BenchmarkRunner:
                 results=results,
                 relation_pages=model.relation_pages(),
             )
+        finally:
+            model.engine.close()
+
+    def run_workload(self, name: str, spec: WorkloadSpec) -> WorkloadResult:
+        """Load one model and execute a synthetic workload against it.
+
+        The trace is compiled from ``(spec, n_objects)`` before the
+        model is built, so every model — and every engine configuration
+        sharing the extension — replays the identical operation
+        sequence.
+        """
+        return self.run_trace(name, compile_trace(spec, self.config.n_objects))
+
+    def run_trace(self, name: str, trace: WorkloadTrace) -> WorkloadResult:
+        """Load one model and replay an already compiled trace.
+
+        The sweep compiles each workload spec once and feeds the same
+        trace to every grid cell; compilation is deterministic, so this
+        is purely a cost saving over :meth:`run_workload`.
+        """
+        model = self.build_model(name)
+        try:
+            return WorkloadExecutor(model, trace).run()
         finally:
             model.engine.close()
 

@@ -1,0 +1,402 @@
+"""Synthetic workload engine: spec → deterministic trace → execution.
+
+The paper measures one fixed workload (the seven revised-Altair queries)
+against one fixed 1200-page buffer.  Its central claim — that I/O
+*calls*, not transferred pages, dominate complex-object cost — is
+stress-tested here across access skews, read/write mixes and buffer
+regimes, the way Darmont & Gruenwald vary workload locality when
+comparing clustering techniques:
+
+* a :class:`WorkloadSpec` fixes an operation mix (point-lookup /
+  navigate / scan / update), an OID skew (uniform or Zipfian), a buffer
+  regime (warm or cold per operation), an operation count and a seed;
+* :func:`compile_trace` turns the spec into a :class:`WorkloadTrace`, a
+  flat, reproducible list of :class:`Operation` values — the same seed
+  always yields the same trace, so every storage model (and every
+  buffer configuration in a sweep) executes the identical access
+  pattern;
+* a :class:`WorkloadExecutor` replays the trace against any loaded
+  :class:`~repro.models.base.StorageModel` using the same operation
+  primitives and measurement discipline as the paper queries
+  (:class:`~repro.benchmark.queries.QuerySuite`), producing the same
+  :class:`~repro.storage.metrics.MetricsSnapshot` accounting.
+
+Zipfian skew ranks objects by OID (rank 1 = OID 0, probability
+∝ 1/rank^θ), so the hot set coincides with the low OIDs, which bulk
+loading clusters together — hot objects share pages, exactly the
+locality regime where storage-model rankings are known to flip.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_right
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.errors import BenchmarkError
+from repro.models.base import StorageModel
+from repro.storage.metrics import MetricsSnapshot, ScaledMetrics
+
+#: Operation kinds in trace order of the mix tuple.
+OP_KINDS = ("point", "navigate", "scan", "update")
+
+#: Recognised skew families.
+SKEWS = ("uniform", "zipf")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One synthetic workload: mix, skew, buffer regime, size, seed.
+
+    The weights are relative frequencies (they need not sum to one);
+    each operation of the trace draws its kind from the normalised mix
+    and — except for scans — its target object from the skew.
+    """
+
+    name: str = "uniform"
+    point_weight: float = 0.55
+    navigate_weight: float = 0.30
+    scan_weight: float = 0.02
+    update_weight: float = 0.13
+    skew: str = "uniform"
+    zipf_theta: float = 1.0
+    warm: bool = True
+    n_ops: int = 200
+    seed: int = 1993
+
+    def __post_init__(self) -> None:
+        weights = self.mix()
+        if any(w < 0 for w in weights.values()):
+            raise BenchmarkError("workload mix weights must be non-negative")
+        if not any(weights.values()):
+            raise BenchmarkError("workload mix must have at least one positive weight")
+        if self.skew not in SKEWS:
+            raise BenchmarkError(
+                f"unknown skew {self.skew!r} (known: {', '.join(SKEWS)})"
+            )
+        if self.zipf_theta <= 0:
+            raise BenchmarkError("zipf_theta must be positive")
+        if self.n_ops < 1:
+            raise BenchmarkError("n_ops must be at least 1")
+        if not self.name:
+            raise BenchmarkError("workload name must be non-empty")
+
+    def mix(self) -> dict[str, float]:
+        """Operation-kind weights keyed by :data:`OP_KINDS` entry."""
+        return {
+            "point": self.point_weight,
+            "navigate": self.navigate_weight,
+            "scan": self.scan_weight,
+            "update": self.update_weight,
+        }
+
+    def with_changes(self, **changes: Any) -> "WorkloadSpec":
+        """A modified copy (convenience over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Compact one-line summary used in reports and JSON."""
+        mix = "/".join(f"{kind}:{w:g}" for kind, w in self.mix().items() if w > 0)
+        skew = self.skew if self.skew != "zipf" else f"zipf({self.zipf_theta:g})"
+        regime = "warm" if self.warm else "cold"
+        return f"{self.name}: {mix}, {skew}, {regime}, {self.n_ops} ops, seed {self.seed}"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One trace entry: an operation kind and its target OID (scans: -1)."""
+
+    kind: str
+    oid: int = -1
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A compiled workload: the spec plus its concrete operations."""
+
+    spec: WorkloadSpec
+    n_objects: int
+    ops: tuple[Operation, ...]
+
+    def op_counts(self) -> dict[str, int]:
+        """How many operations of each kind the trace contains."""
+        counts = {kind: 0 for kind in OP_KINDS}
+        for op in self.ops:
+            counts[op.kind] += 1
+        return counts
+
+
+class _ZipfSampler:
+    """Zipfian rank sampler: P(rank i) ∝ 1/i^θ over 1..n, via the CDF."""
+
+    def __init__(self, n: int, theta: float) -> None:
+        cumulative = 0.0
+        self._cdf: list[float] = []
+        for rank in range(1, n + 1):
+            cumulative += 1.0 / math.pow(rank, theta)
+            self._cdf.append(cumulative)
+        self._total = cumulative
+
+    def sample(self, rng: random.Random) -> int:
+        """A zero-based rank (= the OID under the identity mapping)."""
+        return bisect_right(self._cdf, rng.random() * self._total)
+
+
+def compile_trace(spec: WorkloadSpec, n_objects: int) -> WorkloadTrace:
+    """Compile a spec into a deterministic operation trace.
+
+    The same ``(spec, n_objects)`` pair always yields the identical
+    trace, so sweeps can replay one access pattern against every
+    storage model and buffer configuration.
+    """
+    if n_objects < 1:
+        raise BenchmarkError("cannot compile a workload for an empty extension")
+    rng = random.Random(spec.seed)
+    kinds = [k for k, w in spec.mix().items() if w > 0]
+    weights = [spec.mix()[k] for k in kinds]
+    zipf = _ZipfSampler(n_objects, spec.zipf_theta) if spec.skew == "zipf" else None
+    ops: list[Operation] = []
+    for kind in rng.choices(kinds, weights=weights, k=spec.n_ops):
+        if kind == "scan":
+            ops.append(Operation("scan"))
+            continue
+        oid = zipf.sample(rng) if zipf is not None else rng.randrange(n_objects)
+        ops.append(Operation(kind, oid))
+    return WorkloadTrace(spec=spec, n_objects=n_objects, ops=tuple(ops))
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Metrics of one trace executed against one storage model."""
+
+    spec: WorkloadSpec
+    model_name: str
+    raw: MetricsSnapshot
+    op_counts: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def n_ops(self) -> int:
+        return sum(self.op_counts.values())
+
+    @property
+    def per_op(self) -> ScaledMetrics:
+        """Counters normalised per operation (the sweeps' table cells)."""
+        return self.raw.scaled(self.n_ops)
+
+    @property
+    def hit_rate(self) -> float:
+        """Buffer hits per fix; 0.0 when the trace fixed no pages."""
+        if self.raw.page_fixes == 0:
+            return 0.0
+        return self.raw.buffer_hits / self.raw.page_fixes
+
+
+class WorkloadExecutor:
+    """Replays a compiled trace against one loaded storage model.
+
+    Operation semantics, mapped onto the model primitives the paper
+    queries use:
+
+    * **point** — full-object retrieval by OID (query-1a style); models
+      without physical identifiers (plain NSM) fall back to the value
+      selection ``fetch_full_by_key`` (query-1b style), which is what a
+      "point lookup" costs on a model with no access path;
+    * **navigate** — the query-2 traversal: root → children →
+      grand-children, projecting only the needed parts;
+    * **scan** — read every object in storage order (query 1c);
+    * **update** — rewrite the atomic root attributes of one object
+      (the query-3 update step, without the traversal).
+
+    Measurement discipline mirrors ``QuerySuite._measure``: the buffer
+    restarts cold, counters reset, the trace runs (``warm=False``
+    additionally restarts the buffer before every operation), a final
+    flush models the database disconnect, then the counters are read.
+    """
+
+    def __init__(self, model: StorageModel, trace: WorkloadTrace) -> None:
+        if trace.n_objects > model.n_objects:
+            raise BenchmarkError(
+                f"trace targets {trace.n_objects} objects but {model.name} "
+                f"holds only {model.n_objects}"
+            )
+        self.model = model
+        self.trace = trace
+        self.engine = model.engine
+
+    def run(self) -> WorkloadResult:
+        engine = self.engine
+        engine.restart_buffer()
+        engine.reset_metrics()
+        warm = self.trace.spec.warm
+        for index, op in enumerate(self.trace.ops):
+            if not warm and index > 0:
+                engine.restart_buffer()
+            self._execute(op, index)
+        engine.flush()
+        return WorkloadResult(
+            spec=self.trace.spec,
+            model_name=self.model.name,
+            raw=engine.metrics.snapshot(),
+            op_counts=self.trace.op_counts(),
+        )
+
+    # -- operation dispatch --------------------------------------------------
+
+    def _execute(self, op: Operation, index: int) -> None:
+        if op.kind == "point":
+            self._point(op.oid)
+        elif op.kind == "navigate":
+            self._navigate(op.oid)
+        elif op.kind == "scan":
+            self.model.scan_all()
+        elif op.kind == "update":
+            self.model.update_roots(
+                [self.model.ref_of(op.oid)], {"Name": f"workload-{index}"}
+            )
+        else:  # pragma: no cover - specs cannot produce unknown kinds
+            raise BenchmarkError(f"unknown operation kind {op.kind!r}")
+
+    def _point(self, oid: int) -> None:
+        if self.model.supports_oid_access:
+            self.model.fetch_full(self.model.ref_of(oid))
+        else:
+            # No physical identifiers (plain NSM): a point lookup is a
+            # value selection, exactly as in query 1b.
+            self.model.fetch_full_by_key(self.model.key_of(oid))
+
+    def _navigate(self, oid: int) -> None:
+        model = self.model
+        root_ref = model.ref_of(oid)
+        model.fetch_roots([root_ref])
+        children = model._dedupe(model.fetch_refs([root_ref]))
+        grand = model._dedupe(model.fetch_refs(children)) if children else []
+        if grand:
+            model.fetch_roots(grand)
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    model: StorageModel,
+    n_objects: int | None = None,
+) -> WorkloadResult:
+    """Compile ``spec`` for ``model`` and execute it."""
+    trace = compile_trace(spec, n_objects or model.n_objects)
+    return WorkloadExecutor(model, trace).run()
+
+
+# -- CLI spec parsing ---------------------------------------------------------
+
+#: Named shortcut workloads accepted by :func:`parse_workload`.
+PRESET_WORKLOADS: dict[str, WorkloadSpec] = {
+    "uniform": WorkloadSpec(name="uniform", skew="uniform"),
+    "zipf": WorkloadSpec(name="zipf(1)", skew="zipf", zipf_theta=1.0),
+    "read-heavy": WorkloadSpec(
+        name="read-heavy",
+        point_weight=0.7,
+        navigate_weight=0.28,
+        scan_weight=0.02,
+        update_weight=0.0,
+    ),
+    "update-heavy": WorkloadSpec(
+        name="update-heavy",
+        point_weight=0.25,
+        navigate_weight=0.15,
+        scan_weight=0.0,
+        update_weight=0.6,
+    ),
+    "scan-only": WorkloadSpec(
+        name="scan-only",
+        point_weight=0.0,
+        navigate_weight=0.0,
+        scan_weight=1.0,
+        update_weight=0.0,
+        n_ops=4,
+    ),
+}
+
+_KEY_FIELDS = {
+    "point": "point_weight",
+    "navigate": "navigate_weight",
+    "scan": "scan_weight",
+    "update": "update_weight",
+    "theta": "zipf_theta",
+    "ops": "n_ops",
+    "seed": "seed",
+    "name": "name",
+    "skew": "skew",
+}
+
+
+def parse_workload(text: str) -> WorkloadSpec:
+    """Parse a CLI workload description into a :class:`WorkloadSpec`.
+
+    Accepted forms, separable by commas (later tokens override):
+
+    * a preset name — ``uniform``, ``zipf``, ``read-heavy``,
+      ``update-heavy``, ``scan-only``;
+    * ``zipf(θ)`` — Zipfian skew with parameter θ, e.g. ``zipf(1.0)``;
+    * ``warm`` / ``cold`` — buffer regime;
+    * ``key=value`` — ``point=2``, ``navigate=1``, ``scan=0.1``,
+      ``update=0.5``, ``theta=1.2``, ``ops=500``, ``seed=7``,
+      ``skew=zipf``, ``name=mine``.
+
+    Example: ``"zipf(1.2),point=3,update=1,ops=400,cold"``.
+
+    A preset supplies the *base* spec, so it must be the first token;
+    accepting it later would silently discard the overrides parsed
+    before it.
+    """
+    spec = WorkloadSpec()
+    named = False
+    seen_any = False
+    try:
+        for raw_token in text.split(","):
+            token = raw_token.strip()
+            if not token:
+                continue
+            if token in PRESET_WORKLOADS:
+                if seen_any:
+                    raise BenchmarkError(
+                        f"preset {token!r} must be the first token of a "
+                        f"workload description (it replaces the whole spec)"
+                    )
+                spec = PRESET_WORKLOADS[token]
+                named = True
+            elif token in ("warm", "cold"):
+                spec = spec.with_changes(warm=token == "warm")
+            elif token.startswith("zipf(") and token.endswith(")"):
+                theta = float(token[len("zipf(") : -1])
+                spec = spec.with_changes(skew="zipf", zipf_theta=theta)
+                if not named:
+                    spec = spec.with_changes(name=f"zipf({theta:g})")
+                    named = True
+            elif "=" in token:
+                key, _, value = token.partition("=")
+                try:
+                    fname = _KEY_FIELDS[key.strip()]
+                except KeyError:
+                    raise BenchmarkError(
+                        f"unknown workload key {key.strip()!r} "
+                        f"(known: {', '.join(_KEY_FIELDS)})"
+                    ) from None
+                value = value.strip()
+                if fname in ("name", "skew"):
+                    spec = spec.with_changes(**{fname: value})
+                    named = named or fname == "name"
+                elif fname in ("n_ops", "seed"):
+                    spec = spec.with_changes(**{fname: int(value)})
+                else:
+                    spec = spec.with_changes(**{fname: float(value)})
+            else:
+                raise BenchmarkError(
+                    f"cannot parse workload token {token!r} "
+                    f"(presets: {', '.join(PRESET_WORKLOADS)})"
+                )
+            seen_any = True
+    except ValueError as exc:
+        raise BenchmarkError(f"bad workload description {text!r}: {exc}") from None
+    if not named:
+        spec = spec.with_changes(name=text)
+    return spec

@@ -12,6 +12,7 @@ figure5       object-size sweep (max Sightseeings 0/15/30)
 figure6       caching sweep (database size 100..1500)
 ablations     policy / page-size / formula-accuracy extensions
 distribution  Section 5.5's shared-nothing forecast (extension)
+sweep         workload × buffer-capacity × policy sensitivity grid
 ============  ===========================================================
 
 Run everything with ``repro-experiments`` (or ``--fast`` for a reduced
@@ -25,6 +26,7 @@ from repro.experiments import (
     figure6,
     measure,
     report,
+    sweep,
     table2,
     table3,
     table4,
@@ -44,6 +46,7 @@ __all__ = [
     "main",
     "measure",
     "report",
+    "sweep",
     "table2",
     "table3",
     "table4",

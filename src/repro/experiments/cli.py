@@ -7,6 +7,9 @@ Usage::
     repro-experiments table3 table4   # selected experiments
     repro-experiments table4 --fast --backend file --jobs 4
                                       # real file I/O, 4 models in parallel
+    repro-experiments sweep --fast --workloads uniform "zipf(1.0)" \
+        --capacities 300 1200 4800 --policies lru lru-k 2q
+                                      # buffer-sensitivity grid
     python -m repro.experiments       # same as repro-experiments
 """
 
@@ -18,13 +21,17 @@ import time
 from typing import Callable
 
 from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.benchmark.workload import parse_workload
 from repro.errors import ReproError
+from repro.models.registry import resolve_models
 from repro.storage.backends import BACKEND_NAMES
+from repro.storage.buffer import POLICY_NAMES
 from repro.experiments import (
     ablations,
     distribution,
     figure5,
     figure6,
+    sweep,
     table2,
     table3,
     table4,
@@ -47,6 +54,7 @@ EXPERIMENTS: dict[str, Callable[[BenchmarkConfig], str]] = {
     "figure6": figure6.render,
     "ablations": ablations.render,
     "distribution": distribution.render,
+    "sweep": sweep.render,
 }
 
 
@@ -100,6 +108,60 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="run independent storage models with N worker threads (default 1)",
     )
+    group = parser.add_argument_group(
+        "sweep options", "grid axes of the 'sweep' experiment (ignored elsewhere)"
+    )
+    group.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(sweep.DEFAULT_WORKLOADS),
+        metavar="SPEC",
+        help=(
+            "workload specs: presets (uniform, zipf, read-heavy, "
+            "update-heavy, scan-only), 'zipf(θ)', or comma-joined "
+            "key=value tokens, e.g. 'zipf(1.2),point=3,update=1,ops=400,cold' "
+            "(default: uniform 'zipf(1.0)')"
+        ),
+    )
+    group.add_argument(
+        "--capacities",
+        nargs="+",
+        type=int,
+        default=list(sweep.DEFAULT_CAPACITIES),
+        metavar="PAGES",
+        help="buffer capacities in pages (default: 300 1200 4800)",
+    )
+    group.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(sweep.DEFAULT_POLICIES),
+        metavar="POLICY",
+        choices=POLICY_NAMES,
+        help=f"replacement policies (default: lru lru-k 2q; known: {', '.join(POLICY_NAMES)})",
+    )
+    group.add_argument(
+        "--models",
+        nargs="+",
+        default=["measured"],
+        metavar="MODEL",
+        help=(
+            "storage models or aliases 'measured'/'focus'/'all' "
+            "(default: measured)"
+        ),
+    )
+    group.add_argument(
+        "--ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the operation count of every workload spec",
+    )
+    group.add_argument(
+        "--sweep-json",
+        default=None,
+        metavar="FILE",
+        help="also write the sweep grid as deterministic JSON to FILE",
+    )
     args = parser.parse_args(argv)
 
     config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
@@ -118,17 +180,39 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--jobs must be at least 1")
         config = config.with_changes(jobs=args.jobs)
 
-    selected = args.experiments or list(EXPERIMENTS)
-    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if any(capacity < 1 for capacity in args.capacities):
+        parser.error("--capacities must be positive page counts")
+    if args.ops is not None and args.ops < 1:
+        parser.error("--ops must be at least 1")
+    try:
+        workloads = [parse_workload(text) for text in args.workloads]
+        models = resolve_models(args.models)
+    except ReproError as exc:
+        parser.error(str(exc))
+    if args.ops is not None:
+        workloads = [spec.with_changes(n_ops=args.ops) for spec in workloads]
+
+    runners = dict(EXPERIMENTS)
+    runners["sweep"] = lambda cfg: sweep.render(
+        cfg,
+        workloads=workloads,
+        capacities=args.capacities,
+        policies=args.policies,
+        models=models,
+        json_path=args.sweep_json,
+    )
+
+    selected = args.experiments or list(runners)
+    unknown = [name for name in selected if name not in runners]
     if unknown:
         parser.error(
             f"unknown experiment(s): {', '.join(unknown)} "
-            f"(known: {', '.join(EXPERIMENTS)})"
+            f"(known: {', '.join(runners)})"
         )
     for name in selected:
         started = time.time()
         try:
-            print(EXPERIMENTS[name](config))
+            print(runners[name](config))
         except ReproError as exc:
             print(f"repro-experiments: error: {exc}", file=sys.stderr)
             return 2

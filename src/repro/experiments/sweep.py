@@ -1,0 +1,231 @@
+"""Sensitivity sweeps: workloads × buffer capacities × policies × models.
+
+The paper fixes one buffer (1200 pages, LRU-like replacement) and one
+workload (the seven Altair queries).  This grid driver crosses synthetic
+:class:`~repro.benchmark.workload.WorkloadSpec` traces with buffer
+capacities, replacement policies and storage models, and reports per
+cell the quantities the paper's argument rests on: I/O calls, page
+transfers and the buffer hit rate, all per operation.
+
+Every cell replays the *identical* compiled trace (the spec is seeded
+and the extension is generated once), so differences between cells are
+attributable entirely to the storage model and the buffer regime — the
+experimental discipline of Section 5, extended to a grid.  Results come
+out as aligned text (:func:`render`) and as deterministic JSON
+(:meth:`SweepResult.to_json`): the same seed yields byte-identical
+output, which CI exploits.
+
+Cells run concurrently on the thread-pooled runner machinery: each cell
+builds its own engine (its own disk and buffer), so parallel execution
+is observationally identical to sequential.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.workload import (
+    WorkloadResult,
+    WorkloadSpec,
+    compile_trace,
+    parse_workload,
+)
+from repro.errors import BenchmarkError
+from repro.models.registry import MEASURED_MODELS, resolve_models
+from repro.experiments.report import render_table
+
+#: Default grid of the sweep experiment: the paper's buffer (1200)
+#: bracketed by a quarter and a quadruple, the DASDBS-like default
+#: policy against LRU-2 and 2Q, and the two canonical skews.
+DEFAULT_CAPACITIES = (300, 1200, 4800)
+DEFAULT_POLICIES = ("lru", "lru-k", "2q")
+DEFAULT_WORKLOADS = ("uniform", "zipf(1.0)")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: a workload on one model under one buffer regime."""
+
+    workload: str
+    capacity: int
+    policy: str
+    model: str
+    result: WorkloadResult
+
+    def row(self) -> list[object]:
+        """Table row: coordinates plus the per-operation metrics."""
+        per_op = self.result.per_op
+        return [
+            self.model,
+            self.policy,
+            self.capacity,
+            per_op.io_calls,
+            per_op.io_pages,
+            self.result.hit_rate,
+            per_op.evictions,
+        ]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-stable cell encoding (raw integer counters, no floats)."""
+        raw = self.result.raw
+        return {
+            "workload": self.workload,
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "model": self.model,
+            "n_ops": self.result.n_ops,
+            "op_counts": dict(sorted(self.result.op_counts.items())),
+            "read_calls": raw.read_calls,
+            "write_calls": raw.write_calls,
+            "pages_read": raw.pages_read,
+            "pages_written": raw.pages_written,
+            "page_fixes": raw.page_fixes,
+            "buffer_hits": raw.buffer_hits,
+            "buffer_misses": raw.buffer_misses,
+            "evictions": raw.evictions,
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All cells of one sweep, in deterministic grid order."""
+
+    config: BenchmarkConfig
+    workloads: tuple[WorkloadSpec, ...]
+    capacities: tuple[int, ...]
+    policies: tuple[str, ...]
+    models: tuple[str, ...]
+    cells: tuple[SweepCell, ...]
+
+    def cells_for(self, workload: str) -> list[SweepCell]:
+        return [cell for cell in self.cells if cell.workload == workload]
+
+    def to_json(self) -> str:
+        """Deterministic JSON: same seed ⇒ byte-identical output.
+
+        Only integer counters are emitted (normalisation is left to the
+        consumer), so the representation is exact, not float-formatted.
+        """
+        payload = {
+            "grid": {
+                "workloads": [spec.describe() for spec in self.workloads],
+                "capacities": list(self.capacities),
+                "policies": list(self.policies),
+                "models": list(self.models),
+                "n_objects": self.config.n_objects,
+                "data_seed": self.config.seed,
+            },
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def run_sweep(
+    config: BenchmarkConfig = DEFAULT_CONFIG,
+    workloads: Sequence[WorkloadSpec | str] = DEFAULT_WORKLOADS,
+    capacities: Sequence[int] = DEFAULT_CAPACITIES,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    models: Sequence[str] = MEASURED_MODELS,
+    jobs: int | None = None,
+) -> SweepResult:
+    """Run the full grid; every cell gets a fresh engine.
+
+    ``config`` supplies the data knobs (extension size, seeds, page
+    size, disk backend); its ``buffer_pages`` and ``policy`` are
+    overridden per cell by the grid axes.  ``jobs`` (default:
+    ``config.jobs``) > 1 executes cells in a thread pool — cells share
+    only the immutable generated extension, so the result is identical
+    to the sequential order.
+    """
+    specs = tuple(
+        parse_workload(w) if isinstance(w, str) else w for w in workloads
+    )
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        # Cells are keyed by workload name in the report and the JSON;
+        # duplicates would conflate two specs' cells indistinguishably.
+        raise BenchmarkError(
+            f"workload names must be unique, got {names!r} "
+            f"(override with a name=... token)"
+        )
+    model_names = resolve_models(models)
+    # Generate the extension and compile each spec's trace once; every
+    # cell replays the shared, immutable inputs.
+    stations = BenchmarkRunner(config).stations
+    traces = {spec.name: compile_trace(spec, config.n_objects) for spec in specs}
+
+    def run_cell(spec: WorkloadSpec, capacity: int, policy: str, model: str) -> SweepCell:
+        cell_config = config.with_changes(buffer_pages=capacity, policy=policy)
+        runner = BenchmarkRunner(cell_config)
+        runner.adopt_extension(stations)
+        return SweepCell(
+            workload=spec.name,
+            capacity=capacity,
+            policy=policy,
+            model=model,
+            result=runner.run_trace(model, traces[spec.name]),
+        )
+
+    grid = [
+        (spec, capacity, policy, model)
+        for spec in specs
+        for capacity in capacities
+        for policy in policies
+        for model in model_names
+    ]
+    if jobs is None:
+        jobs = config.jobs
+    if jobs > 1 and len(grid) > 1:
+        with ThreadPoolExecutor(max_workers=min(jobs, len(grid))) as pool:
+            futures = [pool.submit(run_cell, *point) for point in grid]
+            cells = tuple(future.result() for future in futures)
+    else:
+        cells = tuple(run_cell(*point) for point in grid)
+    return SweepResult(
+        config=config,
+        workloads=specs,
+        capacities=tuple(capacities),
+        policies=tuple(policies),
+        models=model_names,
+        cells=cells,
+    )
+
+
+def render_result(result: SweepResult) -> str:
+    """Aligned-text report: one table per workload, grid order rows."""
+    out = []
+    for spec in result.workloads:
+        rows = [cell.row() for cell in result.cells_for(spec.name)]
+        out.append(
+            render_table(
+                f"Sweep — {spec.describe()}",
+                ["model", "policy", "buffer", "calls/op", "pages/op", "hit rate", "evict/op"],
+                rows,
+                note=(
+                    "Identical compiled trace per cell; calls/pages per "
+                    "operation, hit rate = buffer hits / page fixes."
+                ),
+            )
+        )
+    return "\n".join(out)
+
+
+def render(
+    config: BenchmarkConfig = DEFAULT_CONFIG,
+    workloads: Sequence[WorkloadSpec | str] = DEFAULT_WORKLOADS,
+    capacities: Sequence[int] = DEFAULT_CAPACITIES,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    models: Sequence[str] = MEASURED_MODELS,
+    json_path: str | None = None,
+) -> str:
+    """CLI entry point: run the grid, optionally dump JSON, render text."""
+    result = run_sweep(config, workloads, capacities, policies, models)
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+    return render_result(result)

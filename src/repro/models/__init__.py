@@ -20,8 +20,10 @@ from repro.models.parts import ALL_PARTS, NAVIGATION_PARTS, Parts
 from repro.models.registry import (
     FOCUS_MODELS,
     MEASURED_MODELS,
+    MODEL_ALIASES,
     MODEL_CLASSES,
     create_model,
+    resolve_models,
 )
 
 __all__ = [
@@ -31,6 +33,7 @@ __all__ = [
     "DSMModel",
     "FOCUS_MODELS",
     "MEASURED_MODELS",
+    "MODEL_ALIASES",
     "MODEL_CLASSES",
     "MixedTupleStore",
     "NAVIGATION_PARTS",
@@ -40,4 +43,5 @@ __all__ = [
     "Ref",
     "StorageModel",
     "create_model",
+    "resolve_models",
 ]

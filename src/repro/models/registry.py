@@ -27,6 +27,35 @@ MEASURED_MODELS = ("DSM", "DASDBS-DSM", "NSM", "DASDBS-NSM")
 #: Models that remain after Section 5.3 drops plain NSM from the study.
 FOCUS_MODELS = ("DSM", "DASDBS-DSM", "DASDBS-NSM")
 
+#: Group aliases accepted wherever model names are listed (CLI --models,
+#: sweep grids): "measured" = Tables 4-7, "focus" = post-§5.3, "all" =
+#: every registered model including the analytical-only NSM+index.
+MODEL_ALIASES: dict[str, tuple[str, ...]] = {
+    "measured": MEASURED_MODELS,
+    "focus": FOCUS_MODELS,
+    "all": tuple(MODEL_CLASSES),
+}
+
+
+def resolve_models(names) -> tuple[str, ...]:
+    """Expand aliases and validate a model-name list, preserving order.
+
+    Accepts concrete model names (``"DSM"``) and group aliases
+    (``"measured"``, ``"focus"``, ``"all"``); duplicates collapse to
+    the first occurrence.
+    """
+    resolved: dict[str, None] = {}
+    for name in names:
+        if name in MODEL_ALIASES:
+            for expanded in MODEL_ALIASES[name]:
+                resolved[expanded] = None
+        elif name in MODEL_CLASSES:
+            resolved[name] = None
+        else:
+            known = ", ".join((*sorted(MODEL_CLASSES), *MODEL_ALIASES))
+            raise ModelError(f"unknown storage model {name!r} (known: {known})")
+    return tuple(resolved)
+
 
 def create_model(
     name: str,

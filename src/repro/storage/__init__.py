@@ -31,7 +31,12 @@ from repro.storage.backends import (
     make_backend,
     replay_trace,
 )
-from repro.storage.buffer import BufferManager, make_policy
+from repro.storage.buffer import (
+    POLICY_NAMES,
+    BufferManager,
+    ReplacementPolicy,
+    make_policy,
+)
 from repro.storage.constants import (
     DEFAULT_BUFFER_PAGES,
     EFFECTIVE_PAGE_SIZE,
@@ -123,6 +128,8 @@ __all__ = [
     "SimulatedDisk",
     "SlottedPage",
     "StorageEngine",
+    "ReplacementPolicy",
+    "POLICY_NAMES",
     "make_policy",
     "DEFAULT_BUFFER_PAGES",
     "EFFECTIVE_PAGE_SIZE",

@@ -14,13 +14,14 @@ Models the DASDBS page buffer as used in the paper's measurements:
   been finished (database disconnect) or the page buffer overflows"
   (Section 5.2),
 * replacement policy is pluggable (LRU default; FIFO/CLOCK/random for
-  the ablation experiments).
+  the ablation experiments, LRU-K and 2Q for the buffer-sensitivity
+  sweeps).
 """
 
 from __future__ import annotations
 
 import random
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Iterable, Sequence
 
 from repro.errors import BufferError_, BufferFullError, InvalidAddressError
@@ -40,7 +41,14 @@ class _Frame:
 
 
 class ReplacementPolicy:
-    """Strategy interface for victim selection."""
+    """Strategy interface for victim selection.
+
+    :meth:`victims` iterators are **lazy**: they walk the policy's
+    internal structures without copying them.  The buffer manager's
+    eviction loop may therefore skip candidates (fixed pages) freely,
+    but must stop consuming the iterator once it removes the chosen
+    victim — which its "remove one, then return" pattern guarantees.
+    """
 
     name = "abstract"
 
@@ -52,6 +60,31 @@ class ReplacementPolicy:
 
     def on_remove(self, page_id: int) -> None:
         raise NotImplementedError
+
+    def on_evict(self, page_id: int) -> None:
+        """Removal caused by replacement (vs. discard/clear).
+
+        Policies that keep history about evicted pages (2Q's ghost
+        queue) hook this; the default treats evictions like any other
+        removal.
+        """
+        self.on_remove(page_id)
+
+    def bind_capacity(self, capacity: int) -> None:
+        """Tell the policy its buffer's frame count.
+
+        Called once by :class:`BufferManager`; policies that size
+        internal queues relative to the buffer (2Q) override this.
+        """
+
+    def on_clear(self) -> None:
+        """The buffer was emptied (cold restart).
+
+        Called by :meth:`BufferManager.clear` after every frame's
+        :meth:`on_remove`.  Policies that retain history about
+        non-resident pages (2Q's ghost queue) must forget it here, so a
+        cold restart is genuinely cold.
+        """
 
     def victims(self) -> Iterable[int]:
         """Candidate victims, best first."""
@@ -76,7 +109,8 @@ class LRUPolicy(ReplacementPolicy):
         self._order.pop(page_id, None)
 
     def victims(self) -> Iterable[int]:
-        return iter(list(self._order))
+        # Lazy walk in recency order; no O(n) copy per eviction.
+        return iter(self._order)
 
 
 class FIFOPolicy(ReplacementPolicy):
@@ -97,7 +131,7 @@ class FIFOPolicy(ReplacementPolicy):
         self._order.pop(page_id, None)
 
     def victims(self) -> Iterable[int]:
-        return iter(list(self._order))
+        return iter(self._order)
 
 
 class ClockPolicy(ReplacementPolicy):
@@ -133,27 +167,179 @@ class ClockPolicy(ReplacementPolicy):
 
 
 class RandomPolicy(ReplacementPolicy):
-    """Uniform random replacement (ablation); seeded for determinism."""
+    """Uniform random replacement (ablation); seeded for determinism.
+
+    Resident pages live in a list with an index map so that insert,
+    remove (swap with the last element) and victim choice are all O(1);
+    one eviction draws one random index instead of sorting and
+    shuffling the whole page set.
+    """
 
     name = "random"
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
-        self._pages: set[int] = set()
+        self._pages: list[int] = []
+        self._slots: dict[int, int] = {}
 
     def on_insert(self, page_id: int) -> None:
-        self._pages.add(page_id)
+        if page_id in self._slots:
+            return
+        self._slots[page_id] = len(self._pages)
+        self._pages.append(page_id)
 
     def on_access(self, page_id: int) -> None:
         pass
 
     def on_remove(self, page_id: int) -> None:
-        self._pages.discard(page_id)
+        slot = self._slots.pop(page_id, None)
+        if slot is None:
+            return
+        last = self._pages.pop()
+        if last != page_id:
+            self._pages[slot] = last
+            self._slots[last] = slot
 
     def victims(self) -> Iterable[int]:
-        pages = sorted(self._pages)
-        self._rng.shuffle(pages)
-        return iter(pages)
+        # Bounded random probing (skipped candidates are fixed pages),
+        # then a deterministic pass over what is left so exhaustion —
+        # every frame fixed — terminates.
+        pages = self._pages
+        for _ in range(2 * len(pages) + 1):
+            if not pages:
+                return
+            yield pages[self._rng.randrange(len(pages))]
+        yield from list(pages)
+
+
+class LRUKPolicy(ReplacementPolicy):
+    """LRU-K replacement (O'Neil, O'Neil & Weikum, SIGMOD 1993).
+
+    Evicts the page whose K-th most recent reference lies furthest in
+    the past.  Pages referenced fewer than K times have infinite
+    backward K-distance and are evicted first (least recently used
+    among themselves), which shields pages with established reference
+    history from one-shot scans — the property the sensitivity sweeps
+    probe.  Default K=2 (LRU-2).  History is dropped on eviction (no
+    retained-information period), keeping the policy memoryless across
+    buffer restarts.
+    """
+
+    name = "lru-k"
+
+    def __init__(self, k: int = 2) -> None:
+        if k < 1:
+            raise BufferError_("lru-k requires k >= 1")
+        self._k = k
+        self._clock = 0
+        self._history: dict[int, deque[int]] = {}
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def on_insert(self, page_id: int) -> None:
+        self._history[page_id] = deque([self._tick()], maxlen=self._k)
+
+    def on_access(self, page_id: int) -> None:
+        history = self._history.get(page_id)
+        if history is not None:
+            history.append(self._tick())
+
+    def on_remove(self, page_id: int) -> None:
+        self._history.pop(page_id, None)
+
+    def _distance_key(self, page_id: int) -> tuple[int, int]:
+        history = self._history[page_id]
+        if len(history) < self._k:
+            # Infinite K-distance: evict first, LRU among them.
+            return (0, history[-1])
+        # history[0] is the K-th most recent reference time.
+        return (1, history[0])
+
+    def victims(self) -> Iterable[int]:
+        # Lazy min-selection: the common eviction consumes exactly one
+        # candidate at O(n), not an O(n log n) sort of every history;
+        # further candidates (the first ones were fixed) rescan what
+        # remains.
+        remaining = set(self._history)
+        while remaining:
+            best = min(remaining, key=self._distance_key)
+            yield best
+            remaining.discard(best)
+
+
+class TwoQPolicy(ReplacementPolicy):
+    """Full-2Q replacement (Johnson & Shasha, VLDB 1994), simplified.
+
+    New pages enter the FIFO ``A1in`` probation queue; a page evicted
+    out of ``A1in`` leaves its id in the ``A1out`` ghost queue; a
+    re-reference to a ghost admits the page into the LRU-managed hot
+    queue ``Am``.  Accesses while still in ``A1in`` are treated as
+    correlated references and do not promote.  Queue bounds are
+    fractions of the buffer capacity, fixed via :meth:`bind_capacity`.
+    """
+
+    name = "2q"
+
+    def __init__(self, a1_fraction: float = 0.25, out_fraction: float = 0.5) -> None:
+        if not 0.0 < a1_fraction < 1.0:
+            raise BufferError_("2q a1_fraction must be within (0, 1)")
+        if out_fraction <= 0.0:
+            raise BufferError_("2q out_fraction must be positive")
+        self._a1_fraction = a1_fraction
+        self._out_fraction = out_fraction
+        self._a1_max = 1
+        self._out_max = 1
+        self._a1in: OrderedDict[int, None] = OrderedDict()
+        self._a1out: OrderedDict[int, None] = OrderedDict()
+        self._am: OrderedDict[int, None] = OrderedDict()
+
+    def bind_capacity(self, capacity: int) -> None:
+        self._a1_max = max(1, int(capacity * self._a1_fraction))
+        self._out_max = max(1, int(capacity * self._out_fraction))
+
+    def on_insert(self, page_id: int) -> None:
+        if page_id in self._a1out:
+            del self._a1out[page_id]
+            self._am[page_id] = None
+        else:
+            self._a1in[page_id] = None
+
+    def on_access(self, page_id: int) -> None:
+        if page_id in self._am:
+            self._am.move_to_end(page_id)
+        # A1in hits are correlated references: no promotion.
+
+    def on_remove(self, page_id: int) -> None:
+        if page_id in self._a1in:
+            del self._a1in[page_id]
+        else:
+            self._am.pop(page_id, None)
+        self._a1out.pop(page_id, None)
+
+    def on_evict(self, page_id: int) -> None:
+        if page_id in self._a1in:
+            del self._a1in[page_id]
+            self._a1out[page_id] = None
+            while len(self._a1out) > self._out_max:
+                self._a1out.popitem(last=False)
+        else:
+            self._am.pop(page_id, None)
+
+    def on_clear(self) -> None:
+        # A cold restart must be cold: without this, ghosts would leak
+        # eviction history across queries and promote their pages
+        # straight into Am on the first access after the restart.
+        self._a1out.clear()
+
+    def victims(self) -> Iterable[int]:
+        if len(self._a1in) > self._a1_max:
+            yield from iter(self._a1in)
+            yield from iter(self._am)
+        else:
+            yield from iter(self._am)
+            yield from iter(self._a1in)
 
 
 POLICIES = {
@@ -161,7 +347,12 @@ POLICIES = {
     "fifo": FIFOPolicy,
     "clock": ClockPolicy,
     "random": RandomPolicy,
+    "lru-k": LRUKPolicy,
+    "2q": TwoQPolicy,
 }
+
+#: Policy names accepted by :func:`make_policy` and ``--policies``.
+POLICY_NAMES = tuple(POLICIES)
 
 
 def make_policy(name: str, **kwargs) -> ReplacementPolicy:
@@ -199,6 +390,7 @@ class BufferManager:
         self.capacity = capacity
         self.write_batch_max = write_batch_max
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.policy.bind_capacity(capacity)
         self._frames: dict[int, _Frame] = {}
 
     # -- introspection ---------------------------------------------------------
@@ -356,6 +548,7 @@ class BufferManager:
         for pid in list(self._frames):
             self.policy.on_remove(pid)
         self._frames.clear()
+        self.policy.on_clear()
 
     # -- eviction ------------------------------------------------------------------
 
@@ -375,7 +568,7 @@ class BufferManager:
             if frame.dirty:
                 self.disk.write_page(pid, bytes(frame.data))
             del self._frames[pid]
-            self.policy.on_remove(pid)
+            self.policy.on_evict(pid)
             self.metrics.record_eviction()
             return
         raise BufferFullError("all buffer frames are fixed; no victim available")

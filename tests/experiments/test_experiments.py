@@ -156,6 +156,7 @@ class TestCLI:
             "figure6",
             "ablations",
             "distribution",
+            "sweep",
         }
 
     def test_cli_runs_selected_experiment(self, capsys):

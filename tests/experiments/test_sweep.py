@@ -1,0 +1,199 @@
+"""Sensitivity-sweep grid driver: coverage, determinism, CLI path."""
+
+import json
+
+import pytest
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.workload import WorkloadSpec
+from repro.errors import ModelError
+from repro.experiments import sweep
+from repro.experiments.cli import main
+from repro.models.registry import resolve_models
+
+#: Tiny grid that still crosses every axis.
+CFG = BenchmarkConfig(
+    n_objects=30,
+    buffer_pages=32,
+    loops=3,
+    q1a_sample=3,
+    q1b_sample=1,
+    q2a_sample=2,
+    seed=3,
+)
+WORKLOADS = (
+    WorkloadSpec(name="u", n_ops=10, seed=5),
+    WorkloadSpec(name="z", n_ops=10, seed=5, skew="zipf", zipf_theta=1.0),
+)
+CAPACITIES = (8, 24)
+POLICIES = ("lru", "lru-k", "2q")
+MODELS = ("DASDBS-DSM", "DASDBS-NSM")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sweep.run_sweep(CFG, WORKLOADS, CAPACITIES, POLICIES, MODELS)
+
+
+class TestGrid:
+    def test_cell_count_is_the_cross_product(self, result):
+        assert len(result.cells) == 2 * 2 * 3 * 2
+
+    def test_cells_cover_every_axis_value(self, result):
+        assert {c.workload for c in result.cells} == {"u", "z"}
+        assert {c.capacity for c in result.cells} == set(CAPACITIES)
+        assert {c.policy for c in result.cells} == set(POLICIES)
+        assert {c.model for c in result.cells} == set(MODELS)
+
+    def test_every_cell_ran_the_full_trace(self, result):
+        for cell in result.cells:
+            assert cell.result.n_ops == 10
+            raw = cell.result.raw
+            assert raw.page_fixes == raw.buffer_hits + raw.buffer_misses
+
+    def test_larger_buffer_never_hits_less(self, result):
+        """Within one workload × policy × model, growing the buffer
+        cannot lower the LRU hit rate (stack property holds for this
+        monotone trace)."""
+        for cell in result.cells:
+            if cell.capacity != 8 or cell.policy != "lru":
+                continue
+            bigger = next(
+                c
+                for c in result.cells
+                if c.capacity == 24
+                and c.policy == "lru"
+                and c.workload == cell.workload
+                and c.model == cell.model
+            )
+            assert bigger.result.hit_rate >= cell.result.hit_rate
+
+
+class TestDeterminism:
+    def test_json_byte_identical_across_runs(self, result):
+        again = sweep.run_sweep(CFG, WORKLOADS, CAPACITIES, POLICIES, MODELS)
+        assert again.to_json() == result.to_json()
+
+    def test_parallel_equals_sequential(self, result):
+        parallel = sweep.run_sweep(
+            CFG, WORKLOADS, CAPACITIES, POLICIES, MODELS, jobs=4
+        )
+        assert parallel.to_json() == result.to_json()
+
+    def test_json_is_valid_and_raw_integer(self, result):
+        payload = json.loads(result.to_json())
+        assert len(payload["cells"]) == len(result.cells)
+        for cell in payload["cells"]:
+            for counter in ("read_calls", "pages_read", "page_fixes", "evictions"):
+                assert isinstance(cell[counter], int)
+        assert payload["grid"]["capacities"] == list(CAPACITIES)
+
+
+class TestRendering:
+    def test_render_result_one_table_per_workload(self, result):
+        text = sweep.render_result(result)
+        assert text.count("Sweep —") == 2
+        assert "calls/op" in text and "hit rate" in text
+
+    def test_render_writes_json(self, tmp_path):
+        path = tmp_path / "grid.json"
+        text = sweep.render(
+            CFG,
+            workloads=WORKLOADS[:1],
+            capacities=(8,),
+            policies=("lru",),
+            models=("DASDBS-NSM",),
+            json_path=str(path),
+        )
+        assert "Sweep —" in text
+        assert json.loads(path.read_text())["cells"]
+
+    def test_string_workloads_are_parsed(self):
+        result = sweep.run_sweep(
+            CFG, ("uniform",), (8,), ("lru",), ("DASDBS-NSM",)
+        )
+        assert result.workloads[0].name == "uniform"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ModelError):
+            sweep.run_sweep(CFG, WORKLOADS, (8,), ("lru",), ("NOPE",))
+
+    def test_duplicate_workload_names_rejected(self):
+        """Cells are keyed by workload name; duplicates would conflate
+        two specs' cells indistinguishably."""
+        from repro.errors import BenchmarkError
+
+        twins = (WorkloadSpec(name="u", n_ops=5), WorkloadSpec(name="u", n_ops=9))
+        with pytest.raises(BenchmarkError):
+            sweep.run_sweep(CFG, twins, (8,), ("lru",), ("DASDBS-NSM",))
+
+    def test_precompiled_trace_matches_run_workload(self):
+        """run_trace (the sweep's path) and run_workload agree."""
+        from repro.benchmark.runner import BenchmarkRunner
+        from repro.benchmark.workload import compile_trace
+
+        spec = WORKLOADS[0]
+        runner = BenchmarkRunner(CFG)
+        via_spec = runner.run_workload("DASDBS-NSM", spec)
+        via_trace = runner.run_trace(
+            "DASDBS-NSM", compile_trace(spec, CFG.n_objects)
+        )
+        assert via_spec.raw == via_trace.raw
+
+    def test_model_aliases_resolve(self):
+        assert resolve_models(["focus"]) == ("DSM", "DASDBS-DSM", "DASDBS-NSM")
+        assert resolve_models(["measured", "DSM"]) == (
+            "DSM",
+            "DASDBS-DSM",
+            "NSM",
+            "DASDBS-NSM",
+        )
+
+
+class TestCLI:
+    def test_sweep_subcommand(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "--fast",
+                "--objects",
+                "30",
+                "--ops",
+                "8",
+                "--capacities",
+                "8",
+                "16",
+                "--policies",
+                "lru",
+                "2q",
+                "--workloads",
+                "uniform",
+                "zipf(1.0)",
+                "--models",
+                "DASDBS-NSM",
+                "--sweep-json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep —" in out
+        payload = json.loads(json_path.read_text())
+        assert len(payload["cells"]) == 2 * 2 * 2 * 1
+
+    def test_cli_rejects_bad_capacity(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--capacities", "0"])
+
+    def test_cli_rejects_bad_workload(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workloads", "nonsense"])
+
+    def test_cli_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--policies", "mru"])
+
+    def test_cli_rejects_bad_ops(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--ops", "0"])

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import InvalidAddressError, PageOverflowError, StorageError
-from repro.storage.constants import PAGE_HEADER_SIZE
 from repro.storage.page import SlottedPage
 
 

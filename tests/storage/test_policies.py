@@ -1,0 +1,285 @@
+"""Buffer-pressure behavior of every replacement policy.
+
+For each of the six policies (lru, fifo, clock, random, lru-k, 2q):
+
+* an identical access trace yields a deterministic eviction sequence,
+* a fixed page is never evicted, no matter the pressure,
+* the hit/miss counters stay consistent with ``MetricsSnapshot``
+  invariants (fixes = hits + misses, misses = pages read, evictions =
+  misses - resident frames).
+
+Plus policy-specific behavior (LRU-2 scan resistance, 2Q ghost
+promotion) and the regression test for the RandomPolicy rewrite
+(O(1) victim draws instead of sorting + shuffling the page set).
+"""
+
+import random
+
+import pytest
+
+from repro.storage.buffer import (
+    POLICY_NAMES,
+    BufferManager,
+    LRUKPolicy,
+    TwoQPolicy,
+    make_policy,
+)
+from repro.storage.disk import SimulatedDisk
+
+ALL_POLICIES = tuple(POLICY_NAMES)
+
+
+def pressure_trace(n_pages=24, n_ops=400, seed=11):
+    """A deterministic access pattern with heavy re-reference skew."""
+    rng = random.Random(seed)
+    return [rng.randrange(n_pages) for _ in range(n_ops)]
+
+
+def run_trace(policy, capacity=6, n_pages=24, trace=None):
+    """Replay a trace; returns (eviction events, metrics snapshot, buf).
+
+    Eviction order is observed as the residency delta after every fix:
+    each miss over a full buffer evicts exactly one page, so the event
+    list captures the policy's victim sequence.
+    """
+    disk = SimulatedDisk(page_size=128)
+    pids = disk.allocate_many(n_pages)
+    buf = BufferManager(disk, capacity=capacity, policy=policy)
+    if trace is None:
+        trace = pressure_trace(n_pages)
+    events = []
+    resident = set()
+    for step, index in enumerate(trace):
+        pid = pids[index]
+        buf.fix(pid)
+        buf.unfix(pid)
+        now = {p for p in pids if buf.is_resident(p)}
+        evicted = resident - now
+        for victim in sorted(evicted):
+            events.append((step, victim))
+        resident = now
+    return events, disk.metrics.snapshot(), buf
+
+
+class TestEveryPolicyUnderPressure:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_identical_trace_deterministic_evictions(self, policy):
+        first, snap_a, _ = run_trace(policy)
+        second, snap_b, _ = run_trace(policy)
+        assert first == second
+        assert snap_a == snap_b
+        assert len(first) > 0  # the trace must actually cause pressure
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_fixed_page_never_evicted(self, policy):
+        disk = SimulatedDisk(page_size=128)
+        pids = disk.allocate_many(30)
+        buf = BufferManager(disk, capacity=4, policy=policy)
+        pinned = pids[0]
+        buf.fix(pinned)  # held across all of the pressure below
+        for pid in pids[1:]:
+            buf.fix(pid)
+            buf.unfix(pid)
+            assert buf.is_resident(pinned)
+        assert buf.fixed_pages() == [pinned]
+        buf.unfix(pinned)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_hit_accounting_consistent(self, policy):
+        trace = pressure_trace()
+        _, snap, buf = run_trace(policy, trace=trace)
+        assert snap.page_fixes == len(trace)
+        assert snap.page_fixes == snap.buffer_hits + snap.buffer_misses
+        # Single-page fixes: every miss is one one-page read call.
+        assert snap.pages_read == snap.buffer_misses
+        assert snap.read_calls == snap.buffer_misses
+        # Frames only leave via eviction, so the balance must close.
+        assert snap.evictions == snap.buffer_misses - buf.resident_pages
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_capacity_respected_under_pressure(self, policy):
+        _, _, buf = run_trace(policy, capacity=5)
+        assert buf.resident_pages <= 5
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_no_victim_when_everything_fixed(self, policy):
+        from repro.errors import BufferFullError
+
+        disk = SimulatedDisk(page_size=128)
+        a, b, c = disk.allocate_many(3)
+        buf = BufferManager(disk, capacity=2, policy=policy)
+        buf.fix(a)
+        buf.fix(b)
+        with pytest.raises(BufferFullError):
+            buf.fix(c)
+        buf.unfix(a)
+        buf.unfix(b)
+
+
+class TestRandomPolicyRegression:
+    """The rewrite must keep seeded determinism and O(1) victim draws."""
+
+    def test_same_seed_same_evictions(self):
+        a, snap_a, _ = run_trace(make_policy("random", seed=3))
+        b, snap_b, _ = run_trace(make_policy("random", seed=3))
+        assert a == b and snap_a == snap_b
+
+    def test_different_seed_different_evictions(self):
+        a, _, _ = run_trace(make_policy("random", seed=3))
+        b, _, _ = run_trace(make_policy("random", seed=4))
+        assert a != b
+
+    def test_one_eviction_draws_one_random_number(self):
+        """Regression: victims() used to sort + shuffle the whole page
+        set per eviction (O(n log n)); now one candidate costs one
+        ``randrange`` draw on the live list."""
+
+        class CountingRng:
+            def __init__(self):
+                self.calls = 0
+                self._rng = random.Random(0)
+
+            def randrange(self, n):
+                self.calls += 1
+                return self._rng.randrange(n)
+
+        policy = make_policy("random", seed=0)
+        rng = CountingRng()
+        policy._rng = rng
+        for pid in range(1000):
+            policy.on_insert(pid)
+        victim = next(iter(policy.victims()))
+        assert rng.calls == 1
+        policy.on_remove(victim)
+        assert next(iter(policy.victims())) is not None
+        assert rng.calls == 2
+
+    def test_swap_remove_keeps_structures_consistent(self):
+        policy = make_policy("random", seed=1)
+        for pid in range(10):
+            policy.on_insert(pid)
+        for pid in (0, 9, 4, 4):  # including a double remove
+            policy.on_remove(pid)
+        assert sorted(policy._pages) == sorted(policy._slots) == [1, 2, 3, 5, 6, 7, 8]
+        assert all(policy._pages[slot] == pid for pid, slot in policy._slots.items())
+
+    def test_victims_terminates_when_pages_remain_fixed(self):
+        """The bounded probe must exhaust instead of spinning forever."""
+        policy = make_policy("random", seed=2)
+        for pid in range(4):
+            policy.on_insert(pid)
+        consumed = list(policy.victims())
+        assert len(consumed) == 2 * 4 + 1 + 4  # probes + deterministic tail
+        assert set(consumed) == {0, 1, 2, 3}
+
+
+class TestLRUK:
+    def test_single_reference_pages_evicted_before_rereferenced(self):
+        """LRU-2 scan resistance: a page referenced twice survives a
+        stream of once-referenced pages even when older."""
+        policy = LRUKPolicy(k=2)
+        policy.on_insert(1)  # the page with history
+        policy.on_access(1)  # second reference: finite K-distance
+        for pid in (2, 3, 4):
+            policy.on_insert(pid)  # one reference each: infinite distance
+        order = list(policy.victims())
+        assert order[:3] == [2, 3, 4]  # cold pages first, LRU among them
+        assert order[3] == 1
+
+    def test_k_distance_orders_hot_pages(self):
+        policy = LRUKPolicy(k=2)
+        policy.on_insert(1)
+        policy.on_insert(2)
+        policy.on_access(1)  # 1's 2nd-most-recent ref older than 2's
+        policy.on_access(2)
+        policy.on_access(2)  # 2 now has the more recent K-distance
+        hot = [pid for pid in policy.victims()]
+        assert hot == [1, 2]
+
+    def test_rejects_bad_k(self):
+        from repro.errors import BufferError_
+
+        with pytest.raises(BufferError_):
+            LRUKPolicy(k=0)
+
+    def test_make_policy_kwargs(self):
+        policy = make_policy("lru-k", k=3)
+        assert policy._k == 3
+
+
+class TestTwoQ:
+    def test_ghost_promotion_survives_fifo_pressure(self):
+        """A page evicted from A1in and re-referenced enters Am and
+        outlives fresh single-access pages."""
+        disk = SimulatedDisk(page_size=128)
+        pids = disk.allocate_many(24)
+        buf = BufferManager(disk, capacity=8, policy="2q")  # A1in≤2, ghost≤4
+        hot = pids[0]
+        buf.fix(hot)
+        buf.unfix(hot)
+        for pid in pids[1:10]:  # push hot out of A1in into the ghost queue
+            buf.fix(pid)
+            buf.unfix(pid)
+        assert not buf.is_resident(hot)
+        buf.fix(hot)  # ghost hit: promoted to Am on re-entry
+        buf.unfix(hot)
+        for pid in pids[10:22]:  # more one-shot pressure through A1in
+            buf.fix(pid)
+            buf.unfix(pid)
+        assert buf.is_resident(hot)
+
+    def test_discard_forgets_instead_of_remembering(self):
+        policy = TwoQPolicy()
+        policy.bind_capacity(8)
+        policy.on_insert(1)
+        policy.on_remove(1)  # discard: no ghost entry
+        policy.on_insert(1)
+        assert 1 in policy._a1in and 1 not in policy._am
+
+    def test_eviction_remembers_ghost(self):
+        policy = TwoQPolicy()
+        policy.bind_capacity(8)
+        policy.on_insert(1)
+        policy.on_evict(1)
+        policy.on_insert(1)  # ghost hit → straight into Am
+        assert 1 in policy._am
+
+    def test_cold_restart_clears_ghosts(self):
+        """Regression: the ghost queue must not leak eviction history
+        across a buffer clear — a cold restart is genuinely cold."""
+        disk = SimulatedDisk(page_size=128)
+        pids = disk.allocate_many(12)
+        buf = BufferManager(disk, capacity=4, policy="2q")
+        for pid in pids:  # enough pressure to populate A1out
+            buf.fix(pid)
+            buf.unfix(pid)
+        assert buf.policy._a1out
+        buf.clear()
+        assert not buf.policy._a1out
+        buf.fix(pids[0])  # after the restart: probation, not hot
+        buf.unfix(pids[0])
+        assert pids[0] in buf.policy._a1in and pids[0] not in buf.policy._am
+
+    def test_rejects_bad_fractions(self):
+        from repro.errors import BufferError_
+
+        with pytest.raises(BufferError_):
+            TwoQPolicy(a1_fraction=1.5)
+        with pytest.raises(BufferError_):
+            TwoQPolicy(out_fraction=0)
+
+
+class TestLazyVictimIterators:
+    """LRU/FIFO victims() must not copy the whole order per eviction."""
+
+    @pytest.mark.parametrize("policy_name", ["lru", "fifo"])
+    def test_first_victim_without_materialising(self, policy_name):
+        policy = make_policy(policy_name)
+        for pid in range(10_000):
+            policy.on_insert(pid)
+        iterator = policy.victims()
+        assert next(iter(iterator)) == 0
+        # The eviction pattern: remove the chosen victim, abandon the
+        # iterator — and the next eviction sees the updated order.
+        policy.on_remove(0)
+        assert next(iter(policy.victims())) == 1
