@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmarks with metric-checksum verification.
+
+Thin CLI over :mod:`repro.experiments.perf` (the same harness behind
+``repro-experiments perf``), runnable without installing the package::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --json BENCH_hotpaths.json
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --check BENCH_hotpaths.json
+
+``--check`` is the CI mode: the benchmarks re-run, their timings are
+printed for the record, and the exit status reflects **only** whether
+the deterministic metric checksums match the committed golden — a
+failure means an optimisation moved a paper-visible counter or byte,
+never that a machine was slow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.experiments import perf
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_hotpaths",
+        description="Time the storage-stack hot paths and checksum their metrics.",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the report as BENCH_hotpaths.json-format JSON to FILE",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="FILE",
+        help="verify metric checksums against a committed report; exit 1 on drift",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=perf.DEFAULT_REPEATS,
+        metavar="N",
+        help="best-of-N timing repeats (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    try:
+        print(
+            perf.render(
+                json_path=args.json,
+                check_path=args.check,
+                repeats=args.repeats,
+            )
+        )
+    except ReproError as exc:
+        print(f"bench_hotpaths: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -138,10 +138,18 @@ class _ZipfSampler:
             cumulative += 1.0 / math.pow(rank, theta)
             self._cdf.append(cumulative)
         self._total = cumulative
+        self._max_rank = n - 1
 
     def sample(self, rng: random.Random) -> int:
-        """A zero-based rank (= the OID under the identity mapping)."""
-        return bisect_right(self._cdf, rng.random() * self._total)
+        """A zero-based rank (= the OID under the identity mapping).
+
+        Clamped: ``rng.random() * total`` can round up to ``total``
+        itself at the float boundary (certain for ``n == 1``, where
+        total is exactly 1.0), and an unclamped ``bisect_right`` would
+        then return ``n`` — one past the last valid OID.
+        """
+        rank = bisect_right(self._cdf, rng.random() * self._total)
+        return rank if rank <= self._max_rank else self._max_rank
 
 
 def compile_trace(spec: WorkloadSpec, n_objects: int) -> WorkloadTrace:
@@ -154,16 +162,18 @@ def compile_trace(spec: WorkloadSpec, n_objects: int) -> WorkloadTrace:
     if n_objects < 1:
         raise BenchmarkError("cannot compile a workload for an empty extension")
     rng = random.Random(spec.seed)
-    kinds = [k for k, w in spec.mix().items() if w > 0]
-    weights = [spec.mix()[k] for k in kinds]
+    mix = spec.mix()
+    kinds = [k for k, w in mix.items() if w > 0]
+    weights = [mix[k] for k in kinds]
     zipf = _ZipfSampler(n_objects, spec.zipf_theta) if spec.skew == "zipf" else None
     ops: list[Operation] = []
+    append = ops.append
     for kind in rng.choices(kinds, weights=weights, k=spec.n_ops):
         if kind == "scan":
-            ops.append(Operation("scan"))
+            append(Operation("scan"))
             continue
         oid = zipf.sample(rng) if zipf is not None else rng.randrange(n_objects)
-        ops.append(Operation(kind, oid))
+        append(Operation(kind, oid))
     return WorkloadTrace(spec=spec, n_objects=n_objects, ops=tuple(ops))
 
 
@@ -230,10 +240,30 @@ class WorkloadExecutor:
         engine.restart_buffer()
         engine.reset_metrics()
         warm = self.trace.spec.warm
+        # Replay loop with the dispatch hoisted: the per-op closure and
+        # dict allocations of a naive ``self._execute(op)`` loop are
+        # measurable across a sweep grid's thousands of operations.
+        model = self.model
+        point = self._point
+        navigate = self._navigate
+        scan_all = model.scan_all
+        update_roots = model.update_roots
+        ref_of = model.ref_of
+        restart = engine.restart_buffer
         for index, op in enumerate(self.trace.ops):
             if not warm and index > 0:
-                engine.restart_buffer()
-            self._execute(op, index)
+                restart()
+            kind = op.kind
+            if kind == "point":
+                point(op.oid)
+            elif kind == "navigate":
+                navigate(op.oid)
+            elif kind == "scan":
+                scan_all()
+            elif kind == "update":
+                update_roots([ref_of(op.oid)], {"Name": f"workload-{index}"})
+            else:  # pragma: no cover - specs cannot produce unknown kinds
+                raise BenchmarkError(f"unknown operation kind {kind!r}")
         engine.flush()
         return WorkloadResult(
             spec=self.trace.spec,
@@ -243,20 +273,6 @@ class WorkloadExecutor:
         )
 
     # -- operation dispatch --------------------------------------------------
-
-    def _execute(self, op: Operation, index: int) -> None:
-        if op.kind == "point":
-            self._point(op.oid)
-        elif op.kind == "navigate":
-            self._navigate(op.oid)
-        elif op.kind == "scan":
-            self.model.scan_all()
-        elif op.kind == "update":
-            self.model.update_roots(
-                [self.model.ref_of(op.oid)], {"Name": f"workload-{index}"}
-            )
-        else:  # pragma: no cover - specs cannot produce unknown kinds
-            raise BenchmarkError(f"unknown operation kind {op.kind!r}")
 
     def _point(self, oid: int) -> None:
         if self.model.supports_oid_access:

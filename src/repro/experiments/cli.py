@@ -31,6 +31,7 @@ from repro.experiments import (
     distribution,
     figure5,
     figure6,
+    perf,
     sweep,
     table2,
     table3,
@@ -55,6 +56,7 @@ EXPERIMENTS: dict[str, Callable[[BenchmarkConfig], str]] = {
     "ablations": ablations.render,
     "distribution": distribution.render,
     "sweep": sweep.render,
+    "perf": perf.render,
 }
 
 
@@ -157,10 +159,48 @@ def main(argv: list[str] | None = None) -> int:
         help="override the operation count of every workload spec",
     )
     group.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run sweep cells in N worker processes instead of threads "
+            "(CPU-bound grids scale past the GIL; each worker regenerates "
+            "the deterministic extension once, results are identical); "
+            "takes precedence over --jobs for the sweep — other "
+            "experiments keep using the --jobs thread pool"
+        ),
+    )
+    group.add_argument(
         "--sweep-json",
         default=None,
         metavar="FILE",
         help="also write the sweep grid as deterministic JSON to FILE",
+    )
+    perf_group = parser.add_argument_group(
+        "perf options", "hot-path benchmark knobs of the 'perf' experiment"
+    )
+    perf_group.add_argument(
+        "--perf-json",
+        default=None,
+        metavar="FILE",
+        help="write the benchmark report (BENCH_hotpaths.json format) to FILE",
+    )
+    perf_group.add_argument(
+        "--perf-check",
+        default=None,
+        metavar="FILE",
+        help=(
+            "compare metric checksums against a committed BENCH_hotpaths.json "
+            "and fail on drift (timings are printed, never gated on)"
+        ),
+    )
+    perf_group.add_argument(
+        "--perf-repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="best-of-N timing repeats (default 5)",
     )
     args = parser.parse_args(argv)
 
@@ -184,6 +224,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--capacities must be positive page counts")
     if args.ops is not None and args.ops < 1:
         parser.error("--ops must be at least 1")
+    if args.processes is not None and args.processes < 1:
+        parser.error("--processes must be at least 1")
+    if args.perf_repeats is not None and args.perf_repeats < 1:
+        parser.error("--perf-repeats must be at least 1")
     try:
         workloads = [parse_workload(text) for text in args.workloads]
         models = resolve_models(args.models)
@@ -200,6 +244,13 @@ def main(argv: list[str] | None = None) -> int:
         policies=args.policies,
         models=models,
         json_path=args.sweep_json,
+        processes=args.processes,
+    )
+    runners["perf"] = lambda cfg: perf.render(
+        cfg,
+        json_path=args.perf_json,
+        check_path=args.perf_check,
+        repeats=args.perf_repeats if args.perf_repeats is not None else perf.DEFAULT_REPEATS,
     )
 
     selected = args.experiments or list(runners)

@@ -23,7 +23,7 @@ is observationally identical to sequential.
 from __future__ import annotations
 
 import json
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -32,12 +32,14 @@ from repro.benchmark.runner import BenchmarkRunner
 from repro.benchmark.workload import (
     WorkloadResult,
     WorkloadSpec,
+    WorkloadTrace,
     compile_trace,
     parse_workload,
 )
 from repro.errors import BenchmarkError
 from repro.models.registry import MEASURED_MODELS, resolve_models
 from repro.experiments.report import render_table
+from repro.storage.disk import DiskGeometry
 
 #: Default grid of the sweep experiment: the paper's buffer (1200)
 #: bracketed by a quarter and a quadruple, the DASDBS-like default
@@ -45,6 +47,13 @@ from repro.experiments.report import render_table
 DEFAULT_CAPACITIES = (300, 1200, 4800)
 DEFAULT_POLICIES = ("lru", "lru-k", "2q")
 DEFAULT_WORKLOADS = ("uniform", "zipf(1.0)")
+
+#: Geometry behind the sweep's service-time estimates (the paper-era
+#: disk of :class:`~repro.storage.disk.DiskGeometry`'s defaults).  The
+#: estimate turns the two counters of Equation 1 into milliseconds, so
+#: a sweep row shows call/page counts *and* what they cost in
+#: wall-clock terms on the reference disk.
+SWEEP_GEOMETRY = DiskGeometry()
 
 
 @dataclass(frozen=True)
@@ -57,6 +66,14 @@ class SweepCell:
     model: str
     result: WorkloadResult
 
+    @property
+    def service_time_ms(self) -> float:
+        """Estimated disk service time of the whole cell (Equation 1
+        weighted with :data:`SWEEP_GEOMETRY`); exact — computed from the
+        integer counters, so it is as reproducible as they are."""
+        raw = self.result.raw
+        return SWEEP_GEOMETRY.service_time_ms(raw.io_calls, raw.io_pages)
+
     def row(self) -> list[object]:
         """Table row: coordinates plus the per-operation metrics."""
         per_op = self.result.per_op
@@ -68,10 +85,12 @@ class SweepCell:
             per_op.io_pages,
             self.result.hit_rate,
             per_op.evictions,
+            self.service_time_ms / self.result.n_ops,
         ]
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-stable cell encoding (raw integer counters, no floats)."""
+        """JSON-stable cell encoding (raw integer counters, plus the
+        exact service-time estimate derived from them)."""
         raw = self.result.raw
         return {
             "workload": self.workload,
@@ -88,6 +107,7 @@ class SweepCell:
             "buffer_hits": raw.buffer_hits,
             "buffer_misses": raw.buffer_misses,
             "evictions": raw.evictions,
+            "service_time_ms": self.service_time_ms,
         }
 
 
@@ -119,10 +139,63 @@ class SweepResult:
                 "models": list(self.models),
                 "n_objects": self.config.n_objects,
                 "data_seed": self.config.seed,
+                "service_time_model": {
+                    "positioning_ms": SWEEP_GEOMETRY.positioning_ms,
+                    "transfer_ms_per_page": SWEEP_GEOMETRY.transfer_ms_per_page,
+                },
             },
             "cells": [cell.to_dict() for cell in self.cells],
         }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+#: Per-worker-process caches: the generated extension keyed by its data
+#: knobs and the compiled traces keyed by ``(spec, n_objects)``.  Data
+#: generation and trace compilation are deterministic, so regenerating
+#: in each worker (instead of pickling 10⁵ nested tuples per cell) is a
+#: pure cost saving with an identical result.
+_WORKER_STATIONS: dict[tuple, list] = {}
+_WORKER_TRACES: dict[tuple[WorkloadSpec, int], WorkloadTrace] = {}
+
+
+def _data_key(config: BenchmarkConfig) -> tuple:
+    """The config fields the generated extension depends on."""
+    return (
+        config.n_objects,
+        config.fanout,
+        config.probability,
+        config.max_sightseeing,
+        config.seed,
+    )
+
+
+def _run_cell_in_process(
+    config: BenchmarkConfig,
+    spec: WorkloadSpec,
+    capacity: int,
+    policy: str,
+    model: str,
+) -> SweepCell:
+    """One grid cell, self-contained for a worker process."""
+    cell_config = config.with_changes(buffer_pages=capacity, policy=policy, jobs=1)
+    runner = BenchmarkRunner(cell_config)
+    key = _data_key(config)
+    stations = _WORKER_STATIONS.get(key)
+    if stations is None:
+        _WORKER_STATIONS[key] = runner.stations  # generate once per process
+    else:
+        runner.adopt_extension(stations)
+    trace_key = (spec, config.n_objects)
+    trace = _WORKER_TRACES.get(trace_key)
+    if trace is None:
+        trace = _WORKER_TRACES[trace_key] = compile_trace(spec, config.n_objects)
+    return SweepCell(
+        workload=spec.name,
+        capacity=capacity,
+        policy=policy,
+        model=model,
+        result=runner.run_trace(model, trace),
+    )
 
 
 def run_sweep(
@@ -132,6 +205,7 @@ def run_sweep(
     policies: Sequence[str] = DEFAULT_POLICIES,
     models: Sequence[str] = MEASURED_MODELS,
     jobs: int | None = None,
+    processes: int | None = None,
 ) -> SweepResult:
     """Run the full grid; every cell gets a fresh engine.
 
@@ -141,6 +215,18 @@ def run_sweep(
     ``config.jobs``) > 1 executes cells in a thread pool — cells share
     only the immutable generated extension, so the result is identical
     to the sequential order.
+
+    ``processes`` > 1 instead fans cells out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`, which sidesteps
+    the GIL for CPU-bound grids (the simulated engine never blocks on
+    real I/O, so threads only interleave, they don't overlap).  It
+    takes precedence: when both are given, ``jobs`` is not consulted
+    (cells are single-threaded inside each worker).  Each worker
+    regenerates the deterministic extension once and caches it for all
+    its cells; results are identical to the sequential order.
+    The thread pool stays the default because workers cost a fork and
+    one extension generation each — they amortise on grids with many
+    cells per worker.
     """
     specs = tuple(
         parse_workload(w) if isinstance(w, str) else w for w in workloads
@@ -154,6 +240,29 @@ def run_sweep(
             f"(override with a name=... token)"
         )
     model_names = resolve_models(models)
+    grid = [
+        (spec, capacity, policy, model)
+        for spec in specs
+        for capacity in capacities
+        for policy in policies
+        for model in model_names
+    ]
+
+    if processes is not None and processes > 1 and len(grid) > 1:
+        with ProcessPoolExecutor(max_workers=min(processes, len(grid))) as pool:
+            futures = [
+                pool.submit(_run_cell_in_process, config, *point) for point in grid
+            ]
+            cells = tuple(future.result() for future in futures)
+        return SweepResult(
+            config=config,
+            workloads=specs,
+            capacities=tuple(capacities),
+            policies=tuple(policies),
+            models=model_names,
+            cells=cells,
+        )
+
     # Generate the extension and compile each spec's trace once; every
     # cell replays the shared, immutable inputs.
     stations = BenchmarkRunner(config).stations
@@ -171,13 +280,6 @@ def run_sweep(
             result=runner.run_trace(model, traces[spec.name]),
         )
 
-    grid = [
-        (spec, capacity, policy, model)
-        for spec in specs
-        for capacity in capacities
-        for policy in policies
-        for model in model_names
-    ]
     if jobs is None:
         jobs = config.jobs
     if jobs > 1 and len(grid) > 1:
@@ -204,11 +306,23 @@ def render_result(result: SweepResult) -> str:
         out.append(
             render_table(
                 f"Sweep — {spec.describe()}",
-                ["model", "policy", "buffer", "calls/op", "pages/op", "hit rate", "evict/op"],
+                [
+                    "model",
+                    "policy",
+                    "buffer",
+                    "calls/op",
+                    "pages/op",
+                    "hit rate",
+                    "evict/op",
+                    "svc ms/op",
+                ],
                 rows,
                 note=(
                     "Identical compiled trace per cell; calls/pages per "
-                    "operation, hit rate = buffer hits / page fixes."
+                    "operation, hit rate = buffer hits / page fixes, svc "
+                    "ms/op = Equation-1 service-time estimate on the "
+                    f"reference disk ({SWEEP_GEOMETRY.positioning_ms:g} ms/call "
+                    f"+ {SWEEP_GEOMETRY.transfer_ms_per_page:g} ms/page)."
                 ),
             )
         )
@@ -222,9 +336,12 @@ def render(
     policies: Sequence[str] = DEFAULT_POLICIES,
     models: Sequence[str] = MEASURED_MODELS,
     json_path: str | None = None,
+    processes: int | None = None,
 ) -> str:
     """CLI entry point: run the grid, optionally dump JSON, render text."""
-    result = run_sweep(config, workloads, capacities, policies, models)
+    result = run_sweep(
+        config, workloads, capacities, policies, models, processes=processes
+    )
     if json_path:
         with open(json_path, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())

@@ -24,6 +24,26 @@ Encoding layout (all integers little-endian):
 * nested tuple: the flat part followed, for each sub-relation in schema
   order, by ``[u32 count][pad to subrel_overhead]`` and the recursive
   encodings of the sub-tuples.
+
+Performance notes
+-----------------
+
+:class:`NF2Serializer` is a hot path: every stored tuple of every query
+of every sweep cell passes through it.  It therefore compiles, per
+``(StorageFormat, RelationSchema)`` pair, a :class:`_LayoutPlan` — one
+fused :class:`struct.Struct` covering the whole flat part (header,
+offset array and values in a single pack/unpack), the attribute name
+order, and per-sub-relation child plans — cached on the serializer
+instance.  Encoding writes into one preallocated ``bytearray`` via
+``pack_into`` (no intermediate ``bytes`` concatenation); decoding
+unpacks through the fused struct and builds tuples via the trusted
+constructor (the bytes were validated when they were encoded).
+
+:class:`ReferenceNF2Serializer` retains the original field-by-field
+implementation.  It is the parity oracle: the optimized encoder must be
+byte-identical to it (``tests/nf2/test_serializer_parity.py``) and the
+perf harness (:mod:`repro.experiments.perf`) reports the speedup of the
+plan-based paths against it.
 """
 
 from __future__ import annotations
@@ -38,6 +58,9 @@ from repro.nf2.values import NestedTuple
 
 _FLAT_TAG = 0x01
 _NESTED_TAG = 0x02
+
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
 
 
 @dataclass(frozen=True)
@@ -129,8 +152,321 @@ class StorageFormat:
 DASDBS_FORMAT = StorageFormat()
 
 
+class _LayoutPlan:
+    """Precompiled encode/decode layout of one schema under one format.
+
+    ``flat_struct`` fuses the tuple header, the offset array and every
+    atomic value of the flat part into one format string, so the whole
+    flat part is a single ``pack_into``/``unpack_from``.  Its fields, in
+    order: ``total_len, tag, n_attrs, reserved, *offset_array, *values``
+    (pad bytes carry no fields).
+    """
+
+    __slots__ = (
+        "schema",
+        "flat_size",
+        "flat_struct",
+        "flat_unpack",
+        "attr_names",
+        "attr_is_str",
+        "str_names",
+        "value_index",
+        "offset_values",
+        "n_attrs",
+        "atom_slots",
+        "sub_names",
+        "sub_plans",
+        "counter_struct",
+        "counter_unpack",
+        "subrel_overhead",
+        "empty_subs",
+    )
+
+    def __init__(self, fmt: StorageFormat, schema: RelationSchema) -> None:
+        self.schema = schema
+        self.flat_size = fmt.flat_size(schema)
+        attrs = schema.attributes
+        self.n_attrs = len(attrs)
+        self.attr_names = tuple(attr.name for attr in attrs)
+        self.attr_is_str = tuple(attr.type is AttributeType.STR for attr in attrs)
+
+        parts = [f"<IBBH{fmt.tuple_header - 8}x"]
+        offsets: list[int] = []
+        offset = 0
+        for attr in attrs:
+            parts.append(f"H{fmt.attr_overhead - 2}x")
+            offsets.append(offset & 0xFFFF)
+            offset += attr.size
+        value_base = fmt.tuple_header + fmt.attr_overhead * self.n_attrs
+        self.atom_slots: dict[str, tuple[int, bool, int]] = {}
+        pos = value_base
+        for attr in attrs:
+            if attr.type is AttributeType.STR:
+                parts.append(f"{attr.size}s")
+                self.atom_slots[attr.name] = (pos, True, attr.size)
+            else:
+                parts.append("i")
+                self.atom_slots[attr.name] = (pos, False, attr.size)
+            pos += attr.size
+        self.flat_struct = struct.Struct("".join(parts))
+        self.flat_unpack = self.flat_struct.unpack_from
+        self.offset_values = tuple(offsets)
+        self.str_names = tuple(
+            attr.name for attr in attrs if attr.type is AttributeType.STR
+        )
+        self.value_index = 4 + self.n_attrs  # header fields + offset array
+
+        self.sub_names = tuple(sub.name for sub in schema.subrelations)
+        self.sub_plans: tuple[_LayoutPlan, ...] = ()  # filled by the cache
+        self.counter_struct = struct.Struct(f"<I{fmt.subrel_overhead - 4}x")
+        self.counter_unpack = self.counter_struct.unpack_from
+        self.subrel_overhead = fmt.subrel_overhead
+        self.empty_subs = not self.sub_names
+
+
+_from_trusted = NestedTuple._from_trusted
+
+
+def _decode_plan(plan: _LayoutPlan, data, pos: int) -> tuple[NestedTuple, int]:
+    """Recursive plan-based decode; the flat unpack is inlined.
+
+    This is the hottest decode loop of the whole simulator, so the body
+    avoids per-tuple method dispatch: one fused ``unpack_from`` per flat
+    part, ``dict(zip(...))`` for the atoms, a string fix-up pass, then
+    the sub-relation recursion.  ``struct.error`` (truncated buffer)
+    propagates; callers translate it to :class:`SerializationError`.
+    """
+    fields = plan.flat_unpack(data, pos)
+    atoms: dict[str, object] = dict(zip(plan.attr_names, fields[plan.value_index :]))
+    for name in plan.str_names:
+        atoms[name] = atoms[name].rstrip(b"\x00").decode("utf-8")
+    pos += plan.flat_size
+    if plan.empty_subs:
+        return _from_trusted(plan.schema, atoms, {}), pos
+    subs: dict[str, list[NestedTuple]] = {}
+    counter_unpack = plan.counter_unpack
+    subrel_overhead = plan.subrel_overhead
+    for name, sub_plan in zip(plan.sub_names, plan.sub_plans):
+        (count,) = counter_unpack(data, pos)
+        pos += subrel_overhead
+        children: list[NestedTuple] = []
+        append = children.append
+        for _ in range(count):
+            child, pos = _decode_plan(sub_plan, data, pos)
+            append(child)
+        subs[name] = children
+    return _from_trusted(plan.schema, atoms, subs), pos
+
+
 class NF2Serializer:
     """Encode/decode nested tuples using a :class:`StorageFormat`."""
+
+    def __init__(self, fmt: StorageFormat = DASDBS_FORMAT) -> None:
+        self.format = fmt
+        # Plans keyed by id(schema); the schema object is pinned in the
+        # value so a dead id can never be reused while the entry lives.
+        self._plans: dict[int, _LayoutPlan] = {}
+
+    def _plan(self, schema: RelationSchema) -> _LayoutPlan:
+        plan = self._plans.get(id(schema))
+        if plan is None:
+            plan = _LayoutPlan(self.format, schema)
+            plan.sub_plans = tuple(self._plan(sub) for sub in schema.subrelations)
+            self._plans[id(schema)] = plan
+        return plan
+
+    # -- flat encoding -----------------------------------------------------
+
+    def encode_flat(self, value: NestedTuple) -> bytes:
+        """Encode only the flat part (atomic attributes) of ``value``."""
+        plan = self._plan(value.schema)
+        out = bytearray(plan.flat_size)
+        self._pack_flat(plan, value, out, 0, _FLAT_TAG, plan.flat_size)
+        return bytes(out)
+
+    @staticmethod
+    def _pack_flat(
+        plan: _LayoutPlan,
+        value: NestedTuple,
+        out: bytearray,
+        pos: int,
+        tag: int,
+        total_len: int,
+    ) -> None:
+        atoms = value._atoms
+        values = [
+            atoms[name].encode("utf-8") if is_str else atoms[name]
+            for name, is_str in zip(plan.attr_names, plan.attr_is_str)
+        ]
+        plan.flat_struct.pack_into(
+            out, pos, total_len, tag, plan.n_attrs, 0, *plan.offset_values, *values
+        )
+
+    def decode_flat(self, schema: RelationSchema, data: bytes) -> NestedTuple:
+        """Decode the flat part of a tuple of ``schema`` from ``data``."""
+        atoms, _ = self._decode_flat_part(schema, data, 0)
+        plan = self._plan(schema)
+        if plan.empty_subs:
+            return NestedTuple._from_trusted(schema, atoms, {})
+        return NestedTuple._from_trusted(
+            schema, atoms, {name: [] for name in plan.sub_names}
+        )
+
+    def _decode_flat_part(
+        self, schema: RelationSchema, data: bytes, start: int
+    ) -> tuple[dict[str, object], int]:
+        plan = self._plan(schema)
+        return self._unpack_flat(plan, data, start)
+
+    @staticmethod
+    def _unpack_flat(
+        plan: _LayoutPlan, data, start: int
+    ) -> tuple[dict[str, object], int]:
+        try:
+            fields = plan.flat_unpack(data, start)
+        except struct.error:
+            raise SerializationError(
+                f"buffer too small to decode a {plan.schema.name!r} tuple"
+            ) from None
+        atoms: dict[str, object] = dict(
+            zip(plan.attr_names, fields[plan.value_index :])
+        )
+        for name in plan.str_names:
+            atoms[name] = atoms[name].rstrip(b"\x00").decode("utf-8")
+        return atoms, start + plan.flat_size
+
+    def decode_atom(self, schema: RelationSchema, data: bytes, attr_name: str):
+        """Decode a single atomic attribute without materialising the tuple.
+
+        Scans evaluate selection predicates on every stored tuple; this
+        fast path reads one value at its fixed offset, which is what a
+        real engine's predicate evaluation over an offset array does.
+        """
+        plan = self._plan(schema)
+        slot = plan.atom_slots.get(attr_name)
+        if slot is None:
+            raise SerializationError(
+                f"relation {schema.name!r} has no atomic attribute {attr_name!r}"
+            )
+        pos, is_str, size = slot
+        if is_str:
+            return bytes(data[pos : pos + size]).rstrip(b"\x00").decode("utf-8")
+        return _I32.unpack_from(data, pos)[0]
+
+    # -- nested encoding ----------------------------------------------------
+
+    def encode_nested(self, value: NestedTuple) -> bytes:
+        """Recursively encode ``value`` including all sub-relations."""
+        plan = self._plan(value.schema)
+        total = self._planned_size(plan, value)
+        if total >= 2**32:  # pragma: no cover - absurd objects only
+            raise SerializationError("nested tuple exceeds 4 GiB encoding limit")
+        out = bytearray(total)
+        end = self._pack_nested(plan, value, out, 0)
+        if end != total:  # defensive: the size formula must match
+            raise SerializationError(
+                f"encoding size mismatch for {value.schema.name!r}: "
+                f"computed {total}, produced {end}"
+            )
+        return bytes(out)
+
+    @classmethod
+    def _planned_size(cls, plan: _LayoutPlan, value: NestedTuple) -> int:
+        size = plan.flat_size
+        if plan.empty_subs:
+            return size
+        subs = value._subs
+        for name, sub_plan in zip(plan.sub_names, plan.sub_plans):
+            size += plan.subrel_overhead
+            for child in subs[name]:
+                size += cls._planned_size(sub_plan, child)
+        return size
+
+    @classmethod
+    def _pack_nested(
+        cls, plan: _LayoutPlan, value: NestedTuple, out: bytearray, pos: int
+    ) -> int:
+        # Children are packed first; the flat header needs the subtree's
+        # total length, which the recursion computes for free.
+        start = pos
+        pos += plan.flat_size
+        if not plan.empty_subs:
+            subs = value._subs
+            for name, sub_plan in zip(plan.sub_names, plan.sub_plans):
+                children = subs[name]
+                plan.counter_struct.pack_into(out, pos, len(children))
+                pos += plan.subrel_overhead
+                for child in children:
+                    pos = cls._pack_nested(sub_plan, child, out, pos)
+        cls._pack_flat(plan, value, out, start, _NESTED_TAG, pos - start)
+        return pos
+
+    def decode_nested(self, schema: RelationSchema, data: bytes, start: int = 0) -> NestedTuple:
+        """Decode a recursive encoding produced by :meth:`encode_nested`."""
+        try:
+            value, _ = _decode_plan(self._plan(schema), memoryview(data), start)
+        except struct.error:
+            raise SerializationError(
+                f"buffer too small to decode a {schema.name!r} tuple"
+            ) from None
+        return value
+
+    def _decode_nested(
+        self, schema: RelationSchema, data: bytes, start: int
+    ) -> tuple[NestedTuple, int]:
+        try:
+            return _decode_plan(self._plan(schema), memoryview(data), start)
+        except struct.error:
+            raise SerializationError(
+                f"buffer too small to decode a {schema.name!r} tuple"
+            ) from None
+
+    # -- sub-tree lists (sections of long objects) ---------------------------
+
+    def encode_subtuple_list(
+        self, sub_schema: RelationSchema, children: Sequence[NestedTuple]
+    ) -> bytes:
+        """Encode a sub-relation instance as one self-contained blob."""
+        plan = self._plan(sub_schema)
+        total = plan.subrel_overhead + sum(
+            self._planned_size(plan, child) for child in children
+        )
+        out = bytearray(total)
+        plan.counter_struct.pack_into(out, 0, len(children))
+        pos = plan.subrel_overhead
+        for child in children:
+            pos = self._pack_nested(plan, child, out, pos)
+        return bytes(out)
+
+    def decode_subtuple_list(
+        self, sub_schema: RelationSchema, data: bytes, start: int = 0
+    ) -> list[NestedTuple]:
+        """Decode a blob produced by :meth:`encode_subtuple_list`."""
+        plan = self._plan(sub_schema)
+        view = memoryview(data)
+        (count,) = _U32.unpack_from(view, start)
+        pos = start + plan.subrel_overhead
+        children: list[NestedTuple] = []
+        append = children.append
+        try:
+            for _ in range(count):
+                child, pos = _decode_plan(plan, view, pos)
+                append(child)
+        except struct.error:
+            raise SerializationError(
+                f"buffer too small to decode a {sub_schema.name!r} tuple"
+            ) from None
+        return children
+
+
+class ReferenceNF2Serializer:
+    """The original, field-by-field serializer — retained as the oracle.
+
+    Byte-for-byte identical output to :class:`NF2Serializer` is asserted
+    by the parity tests; the perf harness times both to report the
+    plan-based speedup.  Keep this implementation boring and obviously
+    correct; it is the specification.
+    """
 
     def __init__(self, fmt: StorageFormat = DASDBS_FORMAT) -> None:
         self.format = fmt
@@ -190,12 +526,7 @@ class NF2Serializer:
         return atoms, pos
 
     def decode_atom(self, schema: RelationSchema, data: bytes, attr_name: str):
-        """Decode a single atomic attribute without materialising the tuple.
-
-        Scans evaluate selection predicates on every stored tuple; this
-        fast path reads one value at its fixed offset, which is what a
-        real engine's predicate evaluation over an offset array does.
-        """
+        """Decode a single atomic attribute without materialising the tuple."""
         fmt = self.format
         pos = fmt.tuple_header + fmt.attr_overhead * len(schema.attributes)
         for attr in schema.attributes:

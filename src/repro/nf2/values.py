@@ -57,6 +57,27 @@ class NestedTuple:
         if extra:
             raise SchemaError(f"unknown sub-relations for {schema.name!r}: {sorted(extra)}")
 
+    @classmethod
+    def _from_trusted(
+        cls,
+        schema: RelationSchema,
+        atoms: dict[str, Any],
+        subs: dict[str, list["NestedTuple"]],
+    ) -> "NestedTuple":
+        """Build a tuple without re-validating (decoder fast path).
+
+        The serializer only decodes bytes that were validated when they
+        were encoded, so the per-attribute checks of ``__init__`` would
+        re-prove a known invariant on every decoded tuple.  ``atoms``
+        must hold exactly the atomic attributes and ``subs`` exactly the
+        sub-relations of ``schema``; the dicts are adopted, not copied.
+        """
+        self = cls.__new__(cls)
+        self.schema = schema
+        self._atoms = atoms
+        self._subs = subs
+        return self
+
     # -- access ----------------------------------------------------------
 
     def __getitem__(self, name: str) -> Any:

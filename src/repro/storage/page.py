@@ -13,12 +13,32 @@ Layout::
 
 Each slot-directory entry is 4 bytes: ``offset u16, length u16``.
 ``offset == 0xFFFF`` marks a deleted slot.
+
+Performance notes
+-----------------
+
+The simulator touches millions of slots per sweep, so this module keeps
+Python-level work per touch minimal:
+
+* the header fields (``n_slots``, ``free_start``) are read **once** when
+  the view is created and then cached as plain ints; every mutator
+  updates the cache and the buffer together, so no property access
+  re-unpacks the header;
+* all ``struct`` formats are precompiled :class:`struct.Struct`
+  instances at module level;
+* :meth:`records` and :meth:`slots` decode the whole slot directory in
+  one ``unpack_from`` pass instead of one unpack per slot.
+
+The cache lives in the *view*, not the buffer.  Code that mutates the
+underlying ``bytearray`` behind a live view's back must create a fresh
+:class:`SlottedPage` (or call :meth:`format`, which rewrites the header)
+before trusting the view again — the same discipline the seed code
+required implicitly, now stated.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterator
 
 from repro.errors import InvalidAddressError, PageOverflowError, StorageError
 from repro.storage.constants import PAGE_HEADER_SIZE, PAGE_SIZE, SLOT_ENTRY_SIZE
@@ -26,6 +46,24 @@ from repro.storage.constants import PAGE_HEADER_SIZE, PAGE_SIZE, SLOT_ENTRY_SIZE
 _MAGIC = 0x5E1F
 _TOMBSTONE = 0xFFFF
 _HEADER_FMT = "<HHH"
+_HEADER = struct.Struct(_HEADER_FMT)
+_SLOT = struct.Struct("<HH")
+_HEADER_UNPACK = _HEADER.unpack_from
+_HEADER_PACK = _HEADER.pack_into
+_SLOT_UNPACK = _SLOT.unpack_from
+_SLOT_PACK = _SLOT.pack_into
+
+#: Precompiled whole-directory formats, keyed by slot count.  The
+#: directory of ``n`` slots is ``2n`` consecutive u16 values read in one
+#: pass; sweeps hit the same handful of slot counts over and over.
+_DIR_STRUCTS: dict[int, struct.Struct] = {}
+
+
+def _dir_struct(n_slots: int) -> struct.Struct:
+    cached = _DIR_STRUCTS.get(n_slots)
+    if cached is None:
+        cached = _DIR_STRUCTS[n_slots] = struct.Struct(f"<{2 * n_slots}H")
+    return cached
 
 
 class SlottedPage:
@@ -36,61 +74,68 @@ class SlottedPage:
     marked dirty afterwards.
     """
 
-    __slots__ = ("data", "page_size")
+    __slots__ = ("data", "page_size", "_n_slots", "_free")
 
     def __init__(self, data: bytearray, page_size: int = PAGE_SIZE) -> None:
         if len(data) != page_size:
             raise StorageError(f"page buffer of {len(data)} bytes, expected {page_size}")
         self.data = data
         self.page_size = page_size
-        magic, _, _ = struct.unpack_from(_HEADER_FMT, data, 0)
+        magic, n_slots, free_start = _HEADER_UNPACK(data, 0)
         if magic != _MAGIC:
             self.format()
+        else:
+            self._n_slots = n_slots
+            self._free = free_start
 
     # -- header access -------------------------------------------------------
 
     def format(self) -> None:
-        """Initialise an empty page."""
+        """Initialise an empty page (also re-syncs the header cache)."""
         self.data[:PAGE_HEADER_SIZE] = bytes(PAGE_HEADER_SIZE)
-        struct.pack_into(_HEADER_FMT, self.data, 0, _MAGIC, 0, PAGE_HEADER_SIZE)
+        _HEADER_PACK(self.data, 0, _MAGIC, 0, PAGE_HEADER_SIZE)
+        self._n_slots = 0
+        self._free = PAGE_HEADER_SIZE
 
     @property
     def n_slots(self) -> int:
-        return struct.unpack_from(_HEADER_FMT, self.data, 0)[1]
+        return self._n_slots
 
     @property
     def _free_start(self) -> int:
-        return struct.unpack_from(_HEADER_FMT, self.data, 0)[2]
+        return self._free
 
     def _set_header(self, n_slots: int, free_start: int) -> None:
-        struct.pack_into(_HEADER_FMT, self.data, 0, _MAGIC, n_slots, free_start)
+        _HEADER_PACK(self.data, 0, _MAGIC, n_slots, free_start)
+        self._n_slots = n_slots
+        self._free = free_start
 
     def _slot_pos(self, slot: int) -> int:
         return self.page_size - (slot + 1) * SLOT_ENTRY_SIZE
 
     def _slot(self, slot: int) -> tuple[int, int]:
-        if not 0 <= slot < self.n_slots:
-            raise InvalidAddressError(f"slot {slot} out of range (page has {self.n_slots})")
-        return struct.unpack_from("<HH", self.data, self._slot_pos(slot))
+        if not 0 <= slot < self._n_slots:
+            raise InvalidAddressError(f"slot {slot} out of range (page has {self._n_slots})")
+        return _SLOT_UNPACK(self.data, self.page_size - (slot + 1) * SLOT_ENTRY_SIZE)
 
     def _set_slot(self, slot: int, offset: int, length: int) -> None:
-        struct.pack_into("<HH", self.data, self._slot_pos(slot), offset, length)
+        _SLOT_PACK(self.data, self._slot_pos(slot), offset, length)
 
     # -- space accounting ------------------------------------------------------
 
     @property
     def free_space(self) -> int:
         """Bytes available for a new record (its slot entry included)."""
-        directory_start = self.page_size - self.n_slots * SLOT_ENTRY_SIZE
-        gap = directory_start - self._free_start
-        return max(0, gap - SLOT_ENTRY_SIZE)
+        # One cached-int expression; the seed re-unpacked the header
+        # twice here (once per property).
+        gap = self.page_size - self._n_slots * SLOT_ENTRY_SIZE - self._free
+        return gap - SLOT_ENTRY_SIZE if gap > SLOT_ENTRY_SIZE else 0
 
     @property
     def used_bytes(self) -> int:
         """Bytes of live records currently stored."""
         total = 0
-        for slot in range(self.n_slots):
-            offset, length = self._slot(slot)
+        for _, offset, length in self.slots():
             if offset != _TOMBSTONE:
                 total += length
         return total
@@ -104,17 +149,18 @@ class SlottedPage:
 
     def insert(self, record: bytes) -> int:
         """Insert a record and return its slot number."""
-        if len(record) > self.free_space:
+        length = len(record)
+        if length > self.free_space:
             raise PageOverflowError(
-                f"record of {len(record)} bytes does not fit ({self.free_space} free)"
+                f"record of {length} bytes does not fit ({self.free_space} free)"
             )
-        if len(record) >= _TOMBSTONE:
+        if length >= _TOMBSTONE:
             raise StorageError("record too large for a 16-bit slot length")
-        n_slots = self.n_slots
-        free_start = self._free_start
-        self.data[free_start : free_start + len(record)] = record
-        self._set_header(n_slots + 1, free_start + len(record))
-        self._set_slot(n_slots, free_start, len(record))
+        n_slots = self._n_slots
+        free_start = self._free
+        self.data[free_start : free_start + length] = record
+        self._set_header(n_slots + 1, free_start + length)
+        self._set_slot(n_slots, free_start, length)
         return n_slots
 
     def read(self, slot: int) -> bytes:
@@ -147,9 +193,9 @@ class SlottedPage:
                 raise PageOverflowError(
                     f"updated record of {len(record)} bytes does not fit in page"
                 )
-        free_start = self._free_start
+        free_start = self._free
         self.data[free_start : free_start + len(record)] = record
-        self._set_header(self.n_slots, free_start + len(record))
+        self._set_header(self._n_slots, free_start + len(record))
         self._set_slot(slot, free_start, len(record))
 
     def delete(self, slot: int) -> None:
@@ -162,10 +208,9 @@ class SlottedPage:
     def compact(self, skip_slot: int | None = None) -> None:
         """Slide live records together to defragment the record area."""
         records: list[tuple[int, bytes]] = []
-        for slot in range(self.n_slots):
+        for slot, offset, length in self.slots():
             if slot == skip_slot:
                 continue
-            offset, length = self._slot(slot)
             if offset != _TOMBSTONE:
                 records.append((slot, bytes(self.data[offset : offset + length])))
         pos = PAGE_HEADER_SIZE
@@ -175,18 +220,69 @@ class SlottedPage:
             pos += len(record)
         if skip_slot is not None:
             self._set_slot(skip_slot, pos, 0)
-        self._set_header(self.n_slots, pos)
+        self._set_header(self._n_slots, pos)
 
     # -- iteration ------------------------------------------------------------------
 
-    def records(self) -> Iterator[tuple[int, bytes]]:
-        """Yield ``(slot, record)`` for every live record."""
-        for slot in range(self.n_slots):
-            offset, length = self._slot(slot)
-            if offset != _TOMBSTONE:
-                yield slot, bytes(self.data[offset : offset + length])
+    def _directory(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Decode the whole slot directory in one pass.
+
+        Returns ``(offsets, lengths)`` indexed by slot number.  The
+        directory grows from the page end towards the front (slot ``i``
+        lives at ``page_size - (i+1)*4``), so one unpack of the region
+        yields the entries in reverse slot order; the stride-(-2) slices
+        put them back into slot order at C speed.
+        """
+        n_slots = self._n_slots
+        if not n_slots:
+            return (), ()
+        raw = _dir_struct(n_slots).unpack_from(
+            self.data, self.page_size - n_slots * SLOT_ENTRY_SIZE
+        )
+        return raw[-2::-2], raw[-1::-2]
+
+    def slots(self) -> list[tuple[int, int, int]]:
+        """``(slot, offset, length)`` for every slot, one directory pass.
+
+        Deleted slots are included (``offset == 0xFFFF``); callers that
+        want live records only should use :meth:`records`.
+        """
+        offsets, lengths = self._directory()
+        return list(zip(range(self._n_slots), offsets, lengths))
+
+    def records(self) -> list[tuple[int, bytes]]:
+        """``(slot, record)`` for every live record, in slot order.
+
+        The slot directory is decoded in one batch pass.  The record
+        area is snapshotted with a single page-sized ``memcpy`` and the
+        payloads sliced out of it ``bytes``-to-``bytes`` — one copy per
+        record instead of the bytearray-slice-then-bytes double copy,
+        which is what makes full scans cheap.
+        """
+        n_slots = self._n_slots
+        if not n_slots:
+            return []
+        # _directory(), inlined: this is the single hottest page method.
+        raw = _dir_struct(n_slots).unpack_from(
+            self.data, self.page_size - n_slots * SLOT_ENTRY_SIZE
+        )
+        offsets, lengths = raw[-2::-2], raw[-1::-2]
+        blob = bytes(self.data)
+        if _TOMBSTONE not in offsets:
+            return list(
+                zip(
+                    range(n_slots),
+                    [blob[o : o + l] for o, l in zip(offsets, lengths)],
+                )
+            )
+        return [
+            (slot, blob[offset : offset + length])
+            for slot, (offset, length) in enumerate(zip(offsets, lengths))
+            if offset != _TOMBSTONE
+        ]
 
     @property
     def live_records(self) -> int:
         """Number of non-deleted records."""
-        return sum(1 for _ in self.records())
+        offsets, _ = self._directory()
+        return sum(1 for offset in offsets if offset != _TOMBSTONE)

@@ -157,6 +157,7 @@ class TestCLI:
             "ablations",
             "distribution",
             "sweep",
+            "perf",
         }
 
     def test_cli_runs_selected_experiment(self, capsys):

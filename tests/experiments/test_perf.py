@@ -1,0 +1,138 @@
+"""The hot-path perf harness: checksums, check mode, CLI plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.experiments import perf
+from repro.experiments.cli import main
+
+BENCH_NAMES = {
+    "serializer_encode",
+    "serializer_decode",
+    "page_fill",
+    "page_scan",
+    "buffer_churn",
+    "sweep_cell",
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return perf.run_perf(repeats=1)
+
+
+class TestReport:
+    def test_every_hot_path_is_benchmarked(self, report):
+        assert {res.name for res in report.results} == BENCH_NAMES
+
+    def test_checksums_are_deterministic(self, report):
+        again = perf.run_perf(repeats=1)
+        for res, res2 in zip(report.results, again.results):
+            assert res.name == res2.name
+            assert res.checksum == res2.checksum
+            assert res.n_ops == res2.n_ops
+
+    def test_reference_paths_are_timed(self, report):
+        """The retained naive implementations are measured, so the
+        speedup claim stays a live number (its value is machine-
+        dependent and deliberately not asserted here)."""
+        for name in ("serializer_encode", "serializer_decode", "page_scan"):
+            assert report.result(name).reference_ms is not None
+            assert report.result(name).speedup is not None
+
+    def test_encode_and_decode_agree_on_bytes(self, report):
+        """The decode checksum hashes re-encoded decodes: matching the
+        encode checksum proves round-trip fidelity."""
+        assert (
+            report.result("serializer_encode").checksum
+            == report.result("serializer_decode").checksum
+        )
+
+    def test_json_payload_shape(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["schema"] == 1
+        assert len(payload["benchmarks"]) == len(BENCH_NAMES)
+        for bench in payload["benchmarks"]:
+            assert set(bench) == {
+                "name",
+                "n_ops",
+                "best_ms",
+                "per_op_us",
+                "reference_ms",
+                "speedup_vs_reference",
+                "checksum",
+            }
+
+
+class TestCheckMode:
+    def test_self_check_passes(self, report):
+        assert report.check_against(json.loads(report.to_json())) == []
+
+    def test_checksum_drift_is_reported(self, report):
+        golden = json.loads(report.to_json())
+        golden["benchmarks"][0]["checksum"] = "0" * 64
+        problems = report.check_against(golden)
+        assert len(problems) == 1
+        assert "checksum" in problems[0]
+
+    def test_missing_and_extra_benchmarks_are_reported(self, report):
+        golden = json.loads(report.to_json())
+        removed = golden["benchmarks"].pop()
+        golden["benchmarks"].append(dict(removed, name="phantom_bench"))
+        problems = report.check_against(golden)
+        assert any("phantom_bench" in p for p in problems)
+        assert any(removed["name"] in p for p in problems)
+
+    def test_render_report_raises_on_drift(self, report, tmp_path):
+        golden = json.loads(report.to_json())
+        golden["benchmarks"][0]["n_ops"] += 1
+        path = tmp_path / "golden.json"
+        path.write_text(json.dumps(golden))
+        with pytest.raises(BenchmarkError):
+            perf.render_report(report, check_path=str(path))
+
+
+class TestCLI:
+    def test_perf_subcommand_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "bench.json"
+        code = main(["perf", "--perf-repeats", "1", "--perf-json", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hot-path microbenchmarks" in out
+        payload = json.loads(path.read_text())
+        assert {b["name"] for b in payload["benchmarks"]} == BENCH_NAMES
+
+    def test_perf_check_mode_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "bench.json"
+        assert main(["perf", "--perf-repeats", "1", "--perf-json", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["perf", "--perf-repeats", "1", "--perf-check", str(path)]) == 0
+        assert "all checksums match" in capsys.readouterr().out
+
+    def test_perf_check_mode_fails_on_drift(self, capsys, tmp_path):
+        path = tmp_path / "bench.json"
+        assert main(["perf", "--perf-repeats", "1", "--perf-json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        payload["benchmarks"][0]["checksum"] = "f" * 64
+        path.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["perf", "--perf-repeats", "1", "--perf-check", str(path)]) == 2
+        assert "drifted" in capsys.readouterr().err
+
+    def test_cli_rejects_bad_repeats(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "--perf-repeats", "0"])
+
+
+def test_committed_golden_matches_current_code(report):
+    """The committed BENCH_hotpaths.json is the CI golden: its
+    checksums must match what the code produces right now."""
+    from pathlib import Path
+
+    golden_path = Path(__file__).resolve().parents[2] / "BENCH_hotpaths.json"
+    golden = json.loads(golden_path.read_text())
+    assert report.check_against(golden) == []

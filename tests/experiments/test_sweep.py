@@ -80,6 +80,14 @@ class TestDeterminism:
         )
         assert parallel.to_json() == result.to_json()
 
+    def test_processes_equal_sequential(self, result):
+        """Worker processes regenerate the deterministic extension, so
+        the grid is byte-identical to the in-process run."""
+        multiproc = sweep.run_sweep(
+            CFG, WORKLOADS, CAPACITIES, POLICIES, MODELS, processes=2
+        )
+        assert multiproc.to_json() == result.to_json()
+
     def test_json_is_valid_and_raw_integer(self, result):
         payload = json.loads(result.to_json())
         assert len(payload["cells"]) == len(result.cells)
@@ -87,6 +95,21 @@ class TestDeterminism:
             for counter in ("read_calls", "pages_read", "page_fixes", "evictions"):
                 assert isinstance(cell[counter], int)
         assert payload["grid"]["capacities"] == list(CAPACITIES)
+
+    def test_json_carries_service_time_estimates(self, result):
+        """Every cell reports the Equation-1 service-time estimate, an
+        exact function of its integer counters under the advertised
+        geometry."""
+        payload = json.loads(result.to_json())
+        model = payload["grid"]["service_time_model"]
+        for cell in payload["cells"]:
+            calls = cell["read_calls"] + cell["write_calls"]
+            pages = cell["pages_read"] + cell["pages_written"]
+            expected = (
+                model["positioning_ms"] * calls
+                + model["transfer_ms_per_page"] * pages
+            )
+            assert cell["service_time_ms"] == expected
 
 
 class TestRendering:

@@ -199,3 +199,61 @@ def test_property_page_model_equivalence(operations):
             model[slot] = payload
     assert {slot: rec for slot, rec in page.records()} == model
     assert page.live_records == len(model)
+
+
+class TestHeaderCache:
+    """The cached header ints must stay consistent with the buffer.
+
+    The view caches ``n_slots``/``free_start`` as plain ints; every
+    mutator keeps cache and bytes in sync, a fresh view re-reads the
+    bytes, and ``format()`` re-syncs a view whose buffer was mutated
+    behind its back.
+    """
+
+    def test_fresh_view_adopts_external_state(self):
+        page = make_page()
+        page.insert(b"alpha")
+        page.insert(b"beta")
+        # A second view over the same (externally produced) buffer sees
+        # the same records without any shared Python state.
+        reread = SlottedPage(page.data, page.page_size)
+        assert reread.n_slots == 2
+        assert reread.read(0) == b"alpha"
+        assert reread.free_space == page.free_space
+
+    def test_external_mutation_roundtrips_through_format(self):
+        page = make_page()
+        page.insert(b"doomed")
+        # Clobber the raw buffer behind the view's back (a freed page
+        # being recycled, a test poking at bytes): the view's cache is
+        # now stale by design...
+        page.data[:] = bytes(page.page_size)
+        # ...and format() is the documented way to re-sync: afterwards
+        # the view must behave exactly like a fresh empty page.
+        page.format()
+        assert page.n_slots == 0
+        assert page.free_space == make_page().free_space
+        slot = page.insert(b"reborn")
+        assert page.read(slot) == b"reborn"
+        assert SlottedPage(page.data, page.page_size).read(slot) == b"reborn"
+
+    def test_free_space_single_header_read_consistency(self):
+        page = make_page()
+        expected = page.page_size - 36 - 4  # header, one slot entry
+        for index in range(5):
+            record = bytes([index]) * 10
+            page.insert(record)
+            expected -= len(record) + 4
+            assert page.free_space == expected
+
+    def test_cache_survives_every_mutator(self):
+        page = make_page()
+        a = page.insert(b"a" * 20)
+        b = page.insert(b"b" * 20)
+        page.update(a, b"A" * 20)
+        page.delete(b)
+        page.compact()
+        reread = SlottedPage(page.data, page.page_size)
+        assert (page.n_slots, page._free_start) == (reread.n_slots, reread._free_start)
+        assert page.free_space == reread.free_space
+        assert page.records() == reread.records()
