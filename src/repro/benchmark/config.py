@@ -73,6 +73,16 @@ class BenchmarkConfig:
     #: (each model builds its own engine, so runs are isolated).
     jobs: int = 1
 
+    #: Build-once/clone-many extension snapshots (default on): the
+    #: runner builds each (model, data knobs, page size) extension once
+    #: in a process-wide :class:`~repro.benchmark.snapshots.SnapshotStore`
+    #: and serves every further request with a restored clone —
+    #: bit-identical page bytes and counters, a fraction of the wall
+    #: clock.  ``False`` rebuilds per request (the pre-snapshot
+    #: behaviour); the trace backend always rebuilds so its recorded
+    #: call traces stay complete and replayable.
+    snapshots: bool = True
+
     # -- query workload -----------------------------------------------------
 
     #: Loops of queries 2b/3b; None = n_objects // 5 (the paper executes

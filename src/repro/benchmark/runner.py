@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.benchmark.snapshots import DEFAULT_STORE
 from repro.errors import BenchmarkError
 from repro.benchmark.generator import generate_stations
 from repro.benchmark.queries import QUERY_NAMES, QueryResult, QuerySuite
@@ -87,13 +88,28 @@ class BenchmarkRunner:
         return DatabaseStatistics.from_stations(self.stations)
 
     def build_model(self, name: str) -> StorageModel:
-        """Create an engine, instantiate the model, bulk-load the data.
+        """A loaded model over its own engine, snapshot-cloned when possible.
 
-        The engine uses the configured disk backend; callers that do
-        not run a full suite should ``model.engine.close()`` when done
-        (run_model does this), so file-backed engines release their
-        backing files.
+        With ``config.snapshots`` (the default) the extension is built
+        once per ``(model, data knobs, page size)`` in the process-wide
+        snapshot store and every call returns a restored clone — the
+        same page bytes and the same counters as a rebuild, without the
+        generate/serialise/load cost.  The trace backend always takes
+        the rebuild path so its recorded call trace stays complete and
+        replayable.  Callers that do not run a full suite should
+        ``model.engine.close()`` when done (run_model does this), so
+        file-backed engines release their backing files.
         """
+        if self.snapshots_active:
+            snapshot = DEFAULT_STORE.get(
+                self.config, name, lambda: self.stations, self.fmt
+            )
+            return DEFAULT_STORE.clone(
+                snapshot,
+                self.config,
+                fmt=self.fmt,
+                backend_path=self._backend_path_for(name),
+            )
         engine = StorageEngine(
             page_size=self.config.page_size,
             buffer_pages=self.config.buffer_pages,
@@ -104,6 +120,11 @@ class BenchmarkRunner:
         model = create_model(name, engine, self.fmt)
         model.load(self.stations)
         return model
+
+    @property
+    def snapshots_active(self) -> bool:
+        """Whether build_model serves snapshot clones (see above)."""
+        return self.config.snapshots and self.config.backend != "trace"
 
     def _backend_path_for(self, name: str) -> str | None:
         """Per-model backend path under ``config.backend_path``.

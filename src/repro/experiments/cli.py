@@ -110,6 +110,24 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="run independent storage models with N worker threads (default 1)",
     )
+    parser.add_argument(
+        "--snapshots",
+        dest="snapshots",
+        action="store_true",
+        default=None,
+        help=(
+            "build each (model, scale, page-size) extension once and serve "
+            "every experiment/sweep cell a restored clone — bit-identical "
+            "counters, much less wall clock (default: on; the trace backend "
+            "always rebuilds so traces stay replayable)"
+        ),
+    )
+    parser.add_argument(
+        "--no-snapshots",
+        dest="snapshots",
+        action="store_false",
+        help="rebuild the extension for every model run / sweep cell",
+    )
     group = parser.add_argument_group(
         "sweep options", "grid axes of the 'sweep' experiment (ignored elsewhere)"
     )
@@ -219,6 +237,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.jobs < 1:
             parser.error("--jobs must be at least 1")
         config = config.with_changes(jobs=args.jobs)
+    if args.snapshots is not None:
+        config = config.with_changes(snapshots=args.snapshots)
 
     if any(capacity < 1 for capacity in args.capacities):
         parser.error("--capacities must be positive page counts")

@@ -45,6 +45,7 @@ from repro.errors import BenchmarkError
 from repro.experiments import sweep
 from repro.experiments.report import render_table
 from repro.nf2.serializer import NF2Serializer, ReferenceNF2Serializer
+from repro.storage import StorageEngine
 from repro.storage.buffer import BufferManager
 from repro.storage.constants import PAGE_SIZE, SLOT_ENTRY_SIZE
 from repro.storage.disk import SimulatedDisk
@@ -55,7 +56,10 @@ from repro.storage.page import SlottedPage
 PERF_DATA_CONFIG = BenchmarkConfig(n_objects=120)
 
 #: The reference sweep cell: one workload on one model under one small
-#: buffer, the same shape as a grid cell of the sweeps.
+#: buffer, the same shape as a grid cell of the sweeps.  Snapshots are
+#: off so this benchmark keeps timing the full rebuild-per-cell path —
+#: it is the baseline the snapshot benchmark's speedup is against, and
+#: its timing trajectory stays comparable across PRs.
 PERF_SWEEP_CONFIG = BenchmarkConfig(
     n_objects=60,
     buffer_pages=48,
@@ -63,7 +67,18 @@ PERF_SWEEP_CONFIG = BenchmarkConfig(
     q1a_sample=5,
     q1b_sample=1,
     q2a_sample=3,
+    snapshots=False,
 )
+
+#: The snapshot benchmark's grid: a build-heavy multi-cell sweep
+#: (2 models × 2 capacities, a short trace), where the per-cell fixed
+#: cost the snapshot store removes — regenerate + re-load the whole
+#: extension — dominates the measured work, as it does in real
+#: parameter studies over production-scale extensions.
+PERF_SNAPSHOT_CONFIG = BenchmarkConfig(n_objects=300, buffer_pages=240)
+PERF_SNAPSHOT_WORKLOADS = ("uniform,ops=40",)
+PERF_SNAPSHOT_CAPACITIES = (120, 240)
+PERF_SNAPSHOT_MODELS = ("DSM", "DASDBS-NSM")
 
 #: Record size of the page benchmarks: small DSM-style records, the
 #: regime where per-slot overheads dominate a scan.
@@ -365,6 +380,86 @@ def _bench_sweep_cell(repeats: int) -> BenchResult:
     )
 
 
+def _bench_sweep_snapshot(repeats: int) -> BenchResult:
+    """Clone-per-cell vs rebuild-per-cell on a multi-cell grid.
+
+    The timed path runs the grid with the snapshot store on (builds are
+    cached process-wide, so after the first repeat every cell is a
+    clone — the steady state of a large parameter study); the reference
+    times the identical grid with snapshots off.  The two JSON payloads
+    are asserted byte-identical on every run: the speedup is only ever
+    reported for grids whose counters did not move.
+    """
+
+    def grid(snapshots: bool) -> str:
+        result = sweep.run_sweep(
+            PERF_SNAPSHOT_CONFIG.with_changes(snapshots=snapshots),
+            workloads=PERF_SNAPSHOT_WORKLOADS,
+            capacities=PERF_SNAPSHOT_CAPACITIES,
+            policies=("lru",),
+            models=PERF_SNAPSHOT_MODELS,
+        )
+        return result.to_json()
+
+    cloned, rebuilt = grid(True), grid(False)
+    if cloned != rebuilt:
+        raise BenchmarkError(
+            "snapshot clones changed the sweep JSON — a paper-visible "
+            "counter moved between clone-per-cell and rebuild-per-cell"
+        )
+    snapshot_ms = _best_ms(lambda: grid(True), repeats)
+    rebuild_ms = _best_ms(lambda: grid(False), repeats)
+    n_cells = (
+        len(PERF_SNAPSHOT_WORKLOADS)
+        * len(PERF_SNAPSHOT_CAPACITIES)
+        * len(PERF_SNAPSHOT_MODELS)
+    )
+    return BenchResult(
+        "sweep_cell_snapshot", n_cells, snapshot_ms, _sha(cloned.encode()), rebuild_ms
+    )
+
+
+def _bench_read_many(repeats: int) -> BenchResult:
+    """Set-oriented record reads: grouped zero-copy vs per-rid wrappers."""
+    engine = StorageEngine(page_size=PAGE_SIZE, buffer_pages=256)
+    heap = engine.new_heap("perf_read_many")
+    rids = [
+        heap.insert(struct.pack("<I", index) + b"m" * 28) for index in range(2000)
+    ]
+    engine.flush()
+
+    def zero_copy() -> list:
+        return heap.read_many(rids)
+
+    def reference() -> list:
+        # The seed's read path: one fresh SlottedPage wrapper and one
+        # payload copy per rid, even when consecutive rids share a page.
+        unique_pages = list(dict.fromkeys(rid.page_id for rid in rids))
+        frames = heap.buffer.fix_many(unique_pages)
+        try:
+            return [
+                SlottedPage(frames[rid.page_id], heap.page_size).read(rid.slot)
+                for rid in rids
+            ]
+        finally:
+            for page_id in unique_pages:
+                heap.buffer.unfix(page_id)
+
+    if [bytes(view) for view in zero_copy()] != reference():
+        raise BenchmarkError("zero-copy read_many disagrees with the reference")
+    rounds = 20
+    fast_ms = _best_ms(lambda: [zero_copy() for _ in range(rounds)], repeats)
+    reference_ms = _best_ms(lambda: [reference() for _ in range(rounds)], repeats)
+    records = zero_copy()
+    checksum = _sha(
+        struct.pack("<I", len(records)), *(bytes(view) for view in records)
+    )
+    engine.close()
+    return BenchResult(
+        "read_many_zero_copy", rounds * len(rids), fast_ms, checksum, reference_ms
+    )
+
+
 def run_perf(repeats: int = DEFAULT_REPEATS) -> PerfReport:
     """Run every hot-path benchmark and collect the report."""
     if repeats < 1:
@@ -373,7 +468,9 @@ def run_perf(repeats: int = DEFAULT_REPEATS) -> PerfReport:
     results.extend(_bench_serializer(repeats))
     results.extend(_bench_page(repeats))
     results.append(_bench_buffer(repeats))
+    results.append(_bench_read_many(repeats))
     results.append(_bench_sweep_cell(repeats))
+    results.append(_bench_sweep_snapshot(repeats))
     return PerfReport(results=tuple(results), repeats=repeats)
 
 

@@ -23,12 +23,15 @@ is observationally identical to sequential.
 from __future__ import annotations
 
 import json
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
 from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.snapshots import DEFAULT_STORE
 from repro.benchmark.workload import (
     WorkloadResult,
     WorkloadSpec,
@@ -175,16 +178,29 @@ def _run_cell_in_process(
     capacity: int,
     policy: str,
     model: str,
+    snapshot_path: str | None = None,
 ) -> SweepCell:
-    """One grid cell, self-contained for a worker process."""
+    """One grid cell, self-contained for a worker process.
+
+    With ``snapshot_path`` the parent has spilled the model's built
+    extension to disk; the worker maps it into its process-wide
+    snapshot store (one file read per worker per model) and the
+    runner's ``build_model`` clones from it — the worker never
+    generates or bulk-loads anything.  Without it (snapshots disabled,
+    or the trace backend) the worker regenerates the deterministic
+    extension once and rebuilds per cell, as before.
+    """
     cell_config = config.with_changes(buffer_pages=capacity, policy=policy, jobs=1)
     runner = BenchmarkRunner(cell_config)
-    key = _data_key(config)
-    stations = _WORKER_STATIONS.get(key)
-    if stations is None:
-        _WORKER_STATIONS[key] = runner.stations  # generate once per process
+    if snapshot_path is not None:
+        DEFAULT_STORE.preload(snapshot_path)
     else:
-        runner.adopt_extension(stations)
+        key = _data_key(config)
+        stations = _WORKER_STATIONS.get(key)
+        if stations is None:
+            _WORKER_STATIONS[key] = runner.stations  # generate once per process
+        else:
+            runner.adopt_extension(stations)
     trace_key = (spec, config.n_objects)
     trace = _WORKER_TRACES.get(trace_key)
     if trace is None:
@@ -249,11 +265,35 @@ def run_sweep(
     ]
 
     if processes is not None and processes > 1 and len(grid) > 1:
-        with ProcessPoolExecutor(max_workers=min(processes, len(grid))) as pool:
-            futures = [
-                pool.submit(_run_cell_in_process, config, *point) for point in grid
-            ]
-            cells = tuple(future.result() for future in futures)
+        # Build each model's extension once in the parent and spill the
+        # snapshots for the workers; without snapshots every worker
+        # regenerates the extension and rebuilds per cell (the
+        # pre-snapshot behaviour, still byte-identical output).
+        spill_dir: str | None = None
+        spill_paths: dict[str, str] = {}
+        base = BenchmarkRunner(config)
+        if base.snapshots_active:
+            spill_dir = tempfile.mkdtemp(prefix="repro-snapshots-")
+            for model in model_names:
+                snapshot = DEFAULT_STORE.get(
+                    config, model, lambda: base.stations, base.fmt
+                )
+                spill_paths[model] = DEFAULT_STORE.spill(snapshot, spill_dir)
+        try:
+            with ProcessPoolExecutor(max_workers=min(processes, len(grid))) as pool:
+                futures = [
+                    pool.submit(
+                        _run_cell_in_process,
+                        config,
+                        *point,
+                        spill_paths.get(point[3]),
+                    )
+                    for point in grid
+                ]
+                cells = tuple(future.result() for future in futures)
+        finally:
+            if spill_dir is not None:
+                shutil.rmtree(spill_dir, ignore_errors=True)
         return SweepResult(
             config=config,
             workloads=specs,

@@ -103,6 +103,35 @@ class StorageModel(ABC):
         tuple vs. ``change attribute``, Section 5.3).
         """
 
+    # -- snapshot state ------------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """The model's in-memory address state, as restorable data.
+
+        Together with a :class:`~repro.storage.disk.DiskSnapshot` of the
+        engine's disk this is everything a loaded model consists of: a
+        fresh model instance over a restored disk plus
+        :meth:`restore_state` is behaviourally identical to a rebuild —
+        bit-identical page bytes *and* bit-identical counters for every
+        subsequent operation, the invariant the snapshot store's parity
+        suite enforces.  The returned structure must be a deep-enough
+        copy (mutating the live model must never corrupt it), and must
+        be picklable (process-pool sweeps spill it to disk).
+        """
+        raise self._not_supported("state capture")
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt captured state on a freshly constructed model whose
+        engine's disk was restored from the matching snapshot."""
+        raise self._not_supported("state restore")
+
+    def _require_unloaded(self) -> None:
+        if self.n_objects:
+            raise UnsupportedOperationError(
+                f"storage model {self.name} is already loaded; "
+                "state restores require a fresh instance"
+            )
+
     # -- object lifecycle beyond the benchmark ------------------------------------
 
     def insert_object(self, station: NestedTuple) -> int:

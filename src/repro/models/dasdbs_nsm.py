@@ -302,6 +302,35 @@ class DASDBSNSMModel(StorageModel):
     def all_refs(self) -> list[Ref]:
         return [oid for oid, entry in enumerate(self._table) if entry is not None]
 
+    # -- snapshot state -------------------------------------------------------------------
+
+    def _stores(self) -> dict[str, MixedTupleStore]:
+        return {
+            "stations": self.stations,
+            "platforms": self.platforms,
+            "connections": self.connections,
+            "sightseeings": self.sightseeings,
+        }
+
+    def capture_state(self) -> dict:
+        return {
+            "n_objects": self.n_objects,
+            "table": list(self._table),
+            "oid_by_key": dict(self._oid_by_key),
+            "stores": {
+                name: store.capture_state() for name, store in self._stores().items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._require_unloaded()
+        stores = self._stores()
+        for name, store_state in state["stores"].items():
+            stores[name].restore_state(store_state)
+        self._table = list(state["table"])
+        self._oid_by_key = dict(state["oid_by_key"])
+        self.n_objects = state["n_objects"]
+
     # -- statistics -----------------------------------------------------------------------
 
     def relation_pages(self) -> dict[str, int]:

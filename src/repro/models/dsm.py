@@ -82,6 +82,23 @@ class DirectModelBase(StorageModel):
         self.n_objects = len(self._handles)
         return self.n_objects - 1
 
+    # -- snapshot state -------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        return {
+            "n_objects": self.n_objects,
+            "handles": list(self._handles),
+            "heap_pages": self.heap.segment.capture_state(),
+            "long": self.long_store.capture_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._require_unloaded()
+        self._handles = list(state["handles"])
+        self.heap.segment.restore_state(state["heap_pages"])
+        self.long_store.restore_state(state["long"])
+        self.n_objects = state["n_objects"]
+
     def delete_object(self, ref: Ref) -> None:
         kind, handle = self._handle(ref)
         if kind == "heap":

@@ -88,9 +88,14 @@ class MixedTupleStore:
         return self.serializer.decode_nested(self.schema, blob)
 
     def read_many(self, handles: Sequence[TupleHandle]) -> list[NestedTuple]:
-        """Set-oriented read: the heap page set loads in one I/O call."""
+        """Set-oriented read: the heap page set loads in one I/O call.
+
+        Heap records arrive as zero-copy memoryviews aliasing live
+        buffer frames; they are decoded in this method before anything
+        else touches the pages, per ``HeapFile.read_many``'s contract.
+        """
         heap_rids = [addr for kind, addr in handles if kind == "heap"]
-        blobs_by_rid: dict[Rid, bytes] = {}
+        blobs_by_rid: dict[Rid, memoryview] = {}
         if heap_rids:
             unique = list(dict.fromkeys(heap_rids))
             for rid, blob in zip(unique, self.heap.read_many(unique)):
@@ -112,6 +117,22 @@ class MixedTupleStore:
             if kind == "long":
                 (blob,) = self.long_store.read(address)
                 yield self.serializer.decode_nested(self.schema, blob)
+
+    # -- snapshot state -----------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Restorable handle table + segment state (copies; handles are
+        immutable tuples, safe to share)."""
+        return {
+            "handles": list(self._handles),
+            "heap_pages": self.heap.segment.capture_state(),
+            "long": self.long_store.capture_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._handles = list(state["handles"])
+        self.heap.segment.restore_state(state["heap_pages"])
+        self.long_store.restore_state(state["long"])
 
     # -- statistics --------------------------------------------------------------
 

@@ -292,6 +292,34 @@ class NSMModel(StorageModel):
             if key not in self._deleted_keys
         ]
 
+    # -- snapshot state ----------------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        return {
+            "n_objects": self.n_objects,
+            "deleted_keys": set(self._deleted_keys),
+            "relation_pages": {
+                name: heap.segment.capture_state()
+                for name, heap in self._heaps().items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._require_unloaded()
+        heaps = self._heaps()
+        for name, page_ids in state["relation_pages"].items():
+            heaps[name].segment.restore_state(page_ids)
+        self._deleted_keys = set(state["deleted_keys"])
+        self.n_objects = state["n_objects"]
+
+    def _heaps(self) -> dict[str, HeapFile]:
+        return {
+            "stations": self.stations,
+            "platforms": self.platforms,
+            "connections": self.connections,
+            "sightseeings": self.sightseeings,
+        }
+
     # -- statistics ------------------------------------------------------------------------
 
     def relation_pages(self) -> dict[str, int]:
@@ -406,6 +434,34 @@ class NSMIndexModel(NSMModel):
                 continue
             row = self.serializer.decode_flat(NSM_STATION, self.stations.read(rid))
             self.stations.update(rid, self.serializer.encode_flat(row.replace_atoms(**changes)))
+
+    # -- snapshot state ----------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["station_rid"] = dict(self._station_rid)
+        # Rid values are immutable; the per-object lists are not, so
+        # every list is copied on capture and again on restore.
+        for name, rids in (
+            ("platform_rids", self._platform_rids),
+            ("connection_rids", self._connection_rids),
+            ("sightseeing_rids", self._sightseeing_rids),
+        ):
+            state[name] = {key: list(value) for key, value in rids.items()}
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._station_rid = dict(state["station_rid"])
+        self._platform_rids = {
+            key: list(value) for key, value in state["platform_rids"].items()
+        }
+        self._connection_rids = {
+            key: list(value) for key, value in state["connection_rids"].items()
+        }
+        self._sightseeing_rids = {
+            key: list(value) for key, value in state["sightseeing_rids"].items()
+        }
 
     def delete_object(self, ref: Ref) -> None:
         """Indexed delete: record accesses only, no scans."""

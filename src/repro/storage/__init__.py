@@ -45,7 +45,7 @@ from repro.storage.constants import (
     SLOT_ENTRY_SIZE,
     WRITE_BATCH_MAX,
 )
-from repro.storage.disk import DiskGeometry, SimulatedDisk
+from repro.storage.disk import DiskGeometry, DiskSnapshot, SimulatedDisk
 from repro.storage.heap import HeapFile
 from repro.storage.longobj import LongObjectAddress, LongObjectStore, ObjectDirectory
 from repro.storage.metrics import MetricsCollector, MetricsSnapshot, ScaledMetrics
@@ -98,6 +98,37 @@ class StorageEngine:
         """Flush and empty the buffer: the next query starts cold."""
         self.buffer.clear()
 
+    def snapshot(self) -> DiskSnapshot:
+        """Flush, then capture a restorable image of the disk.
+
+        The flush folds every buffered dirty page into the image, so
+        the snapshot is self-contained — and, like any flush, it is
+        charged to the metrics if dirty pages exist (a page written for
+        the image is a page a plain flush would also have written).
+        Take snapshots outside measured intervals; the imaging itself
+        (:meth:`SimulatedDisk.snapshot`) and :meth:`restore` charge
+        nothing.
+        """
+        self.buffer.flush()
+        return self.disk.snapshot()
+
+    def restore(self, snapshot: DiskSnapshot) -> None:
+        """Reset this engine to a disk snapshot: drop every buffered
+        frame unwritten, restore the page store and allocation state,
+        re-arm the replacement policy and zero the counters.
+
+        The engine afterwards behaves like a freshly built one over the
+        snapshotted database — with one caveat: the policy *instance*
+        is reused (its history is cleared, but e.g. a random policy's
+        generator keeps its sequence position).  Bit-parity clones
+        therefore build a fresh engine per clone, which is what the
+        benchmark snapshot store does; the in-place restore is for
+        rewinding one engine to a known database state cheaply.
+        """
+        self.buffer.reset()
+        self.disk.restore(snapshot)
+        self.metrics.reset()
+
     def close(self) -> None:
         """Flush, sync and release backend resources (backing files)."""
         self.buffer.flush()
@@ -117,6 +148,7 @@ __all__ = [
     "make_backend",
     "replay_trace",
     "DiskGeometry",
+    "DiskSnapshot",
     "HeapFile",
     "LongObjectAddress",
     "LongObjectStore",

@@ -5,7 +5,7 @@ The :class:`~repro.storage.disk.SimulatedDisk` owns the *accounting*
 the allocation bookkeeping; a :class:`DiskBackend` owns the *bytes*.
 Separating the two lets the same benchmark run against
 
-* :class:`MemoryBackend` — a dict of page images (the original
+* :class:`MemoryBackend` — an in-memory page store (the original
   simulator; every existing table and figure reproduces bit-for-bit),
 * :class:`FileBackend` — real ``os.pread``/``os.pwrite`` against a
   single backing file, so one simulated I/O call over a contiguous run
@@ -27,7 +27,7 @@ import os
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, TypeAlias
 
 from repro.errors import StorageError
 from repro.storage.constants import PAGE_SIZE
@@ -47,10 +47,25 @@ def _iov_max() -> int:
 #: Longest stretch one vectored syscall may carry.
 _IOV_MAX = _iov_max()
 
+#: Per-pread ceiling of FileBackend.snapshot (well under the ~2 GiB
+#: single-read(2) limit; short reads are looped over regardless).
+_SNAPSHOT_CHUNK = 128 * 1024 * 1024
+
 #: Backend names accepted by :func:`make_backend` (and therefore by
 #: ``StorageEngine(backend=...)``, ``BenchmarkConfig.backend`` and the
 #: CLI ``--backend`` flag).
 BACKEND_NAMES = ("memory", "file", "trace")
+
+
+#: A backend snapshot image: a dense tuple of page images indexed by
+#: page id.  ``None`` marks a hole — a page with no backing bytes; the
+#: disk layer guarantees unallocated pages are never read.  The format
+#: restores into any backend (build in memory, clone onto a file), but
+#: backends differ in how they represent *freed* pages (memory keeps a
+#: None hole, a file keeps its extent's stale bytes); it is
+#: ``SimulatedDisk.snapshot`` that masks freed pages to None, making
+#: its ``DiskSnapshot.image`` canonical across backends.
+PageImage: TypeAlias = tuple["bytes | None", ...]
 
 
 class DiskBackend:
@@ -62,6 +77,10 @@ class DiskBackend:
     contiguous range of zeroed pages, ``free`` releases one page, and
     ``sync`` forces everything to stable storage (the "database
     disconnect" of Section 5.2 maps to flush + sync).
+
+    ``snapshot``/``restore`` move the whole page store in and out of a
+    canonical image (see :data:`PageImage`); they are lifecycle
+    operations, not I/O calls, and are never charged to the metrics.
     """
 
     #: Registry name of the backend class ("memory", "file", ...).
@@ -83,6 +102,20 @@ class DiskBackend:
         """Release one page's storage."""
         raise NotImplementedError
 
+    def snapshot(self) -> PageImage:
+        """The whole page store as a canonical :data:`PageImage`."""
+        raise NotImplementedError
+
+    def restore(self, image: PageImage) -> None:
+        """Replace the whole page store with a canonical image.
+
+        The backend must copy (or otherwise own) the image's storage:
+        later writes through this backend may never mutate the caller's
+        image, and the caller may restore the same image into many
+        backends (the clone-many half of build-once/clone-many).
+        """
+        raise NotImplementedError
+
     def sync(self) -> None:
         """Force written data to stable storage (no-op where moot)."""
 
@@ -91,28 +124,70 @@ class DiskBackend:
 
 
 class MemoryBackend(DiskBackend):
-    """The original in-memory page store: a dict of page images."""
+    """The original in-memory page store, now a dense page list.
+
+    Pages live in a list indexed by page id (ids are allocated densely
+    from zero; freed pages leave ``None`` holes, and the disk layer
+    never hands out a freed id again).  The list layout is what makes
+    the two hot operations cheap:
+
+    * a *contiguous* run — the common case: one object's pages, a flush
+      batch, a sequential scan — is served by a single C-level list
+      slice instead of one dict lookup per page;
+    * :meth:`snapshot`/:meth:`restore` are one shallow list copy (page
+      images are immutable ``bytes``, so sharing them is safe).
+    """
 
     name = "memory"
 
     def __init__(self, page_size: int = PAGE_SIZE) -> None:
         self.page_size = page_size
-        self._pages: dict[int, bytes] = {}
+        self._pages: list[bytes | None] = []
 
     def allocate_run(self, start: int, count: int) -> None:
+        pages = self._pages
+        end = start + count
+        if end > len(pages):
+            pages.extend([None] * (end - len(pages)))
+        # One shared zero-page object per backend: allocation is a
+        # pointer store per page, and pickled images stay compact.
         zero = bytes(self.page_size)
-        for page_id in range(start, start + count):
-            self._pages[page_id] = zero
+        pages[start:end] = [zero] * count
 
     def read_run(self, page_ids: Sequence[int]) -> list[bytes]:
-        return [self._pages[page_id] for page_id in page_ids]
+        pages = self._pages
+        n = len(page_ids)
+        if n > 1:
+            first = page_ids[0]
+            # Contiguous ascending run: one slice, zero per-page lookups.
+            if page_ids[-1] == first + n - 1 and list(page_ids) == list(
+                range(first, first + n)
+            ):
+                return pages[first : first + n]
+        return [pages[page_id] for page_id in page_ids]
 
     def write_run(self, items: Sequence[tuple[int, bytes]]) -> None:
+        pages = self._pages
+        n = len(items)
+        if n > 1:
+            first = items[0][0]
+            if items[-1][0] == first + n - 1 and all(
+                item[0] == first + index for index, item in enumerate(items)
+            ):
+                pages[first : first + n] = [bytes(data) for _, data in items]
+                return
         for page_id, data in items:
-            self._pages[page_id] = bytes(data)
+            pages[page_id] = bytes(data)
 
     def free(self, page_id: int) -> None:
-        self._pages.pop(page_id, None)
+        if 0 <= page_id < len(self._pages):
+            self._pages[page_id] = None
+
+    def snapshot(self) -> PageImage:
+        return tuple(self._pages)
+
+    def restore(self, image: PageImage) -> None:
+        self._pages = list(image)
 
 
 class FileBackend(DiskBackend):
@@ -200,6 +275,45 @@ class FileBackend(DiskBackend):
         # The file keeps its extent; the disk layer guarantees freed
         # pages are never read, and allocate_run re-zeroes on reuse.
         pass
+
+    def snapshot(self) -> PageImage:
+        """Copy the backing file into a page image.
+
+        Reads loop over bounded chunks: a single ``read(2)`` returns at
+        most ~2 GiB on Linux (and may legally return short), so one
+        unbounded ``pread`` would make snapshots of large extensions
+        impossible.
+        """
+        fd = self._require_open()
+        page_size = self.page_size
+        total = self._size_pages * page_size
+        chunks: list[bytes] = []
+        pos = 0
+        while pos < total:
+            chunk = os.pread(fd, min(total - pos, _SNAPSHOT_CHUNK), pos)
+            if not chunk:
+                raise StorageError(
+                    f"backing file truncated at byte {pos} of {total} "
+                    "during snapshot"
+                )
+            chunks.append(chunk)
+            pos += len(chunk)
+        blob = b"".join(chunks)
+        return tuple(
+            blob[index * page_size : (index + 1) * page_size]
+            for index in range(self._size_pages)
+        )
+
+    def restore(self, image: PageImage) -> None:
+        """Rewrite the backing file from a canonical page image."""
+        fd = self._require_open()
+        os.ftruncate(fd, len(image) * self.page_size)
+        self._size_pages = len(image)
+        if image:
+            zero = bytes(self.page_size)
+            self._write_stretch(
+                fd, 0, [zero if page is None else page for page in image]
+            )
 
     def sync(self) -> None:
         if self._fd is not None:
@@ -319,6 +433,24 @@ class TraceBackend(DiskBackend):
         self.inner.free(page_id)
         self._record("free", (page_id,))
 
+    def snapshot(self) -> PageImage:
+        """Snapshot the inner backend; the trace records the event."""
+        image = self.inner.snapshot()
+        self._record("snapshot", ())
+        return image
+
+    def restore(self, image: PageImage) -> None:
+        """Restore the inner backend; the trace records the event.
+
+        Page images are deliberately not written to the trace (a
+        restore is a lifecycle operation, not an I/O call, and its
+        payload would dwarf the trace); a trace that contains a
+        ``restore`` therefore cannot be replayed from the event stream
+        alone — :func:`replay_trace` refuses it with a clear error.
+        """
+        self.inner.restore(image)
+        self._record("restore", ())
+
     def sync(self) -> None:
         self.inner.sync()
         self._record("sync", ())
@@ -428,6 +560,14 @@ def replay_trace(
             backend.free(event.pages[0])
         elif event.op == "sync":
             backend.sync()
+        elif event.op == "snapshot":
+            pass  # taking a snapshot does not change the page store
+        elif event.op == "restore":
+            raise StorageError(
+                "trace contains a snapshot restore, whose page images are "
+                "not recorded; replay the trace of the original build "
+                "instead (or run it with snapshots disabled)"
+            )
         else:
             raise StorageError(f"unknown trace op {event.op!r}")
     return len(events)

@@ -28,16 +28,32 @@ from repro.errors import BufferError_, BufferFullError, InvalidAddressError
 from repro.storage.backends import contiguous_runs
 from repro.storage.constants import DEFAULT_BUFFER_PAGES, WRITE_BATCH_MAX
 from repro.storage.disk import SimulatedDisk
+from repro.storage.page import SlottedPage
 
 
 class _Frame:
-    __slots__ = ("data", "dirty", "fix_count", "referenced")
+    """One buffer frame: page bytes plus a cached decoded view.
+
+    ``view`` caches the :class:`SlottedPage` wrapper over ``data`` so
+    repeated record accesses to a resident page decode the header once
+    per residency, not once per access.  ``gen`` is the frame's data
+    generation: raw-buffer accessors that may mutate ``data`` behind the
+    view's back (``page_data``) bump it, and ``view_gen`` marks the
+    generation the cached view was built at — a mismatch invalidates
+    the cache.  Mutations *through* the cached view keep its header
+    cache coherent by construction, so they do not bump the generation.
+    """
+
+    __slots__ = ("data", "dirty", "fix_count", "referenced", "gen", "view", "view_gen")
 
     def __init__(self, data: bytearray) -> None:
         self.data = data
         self.dirty = False
         self.fix_count = 0
         self.referenced = True
+        self.gen = 0
+        self.view = None
+        self.view_gen = -1
 
 
 class ReplacementPolicy:
@@ -517,13 +533,51 @@ class BufferManager:
         return frame.data
 
     def page_data(self, page_id: int) -> bytearray:
-        """Buffer content of a page that is currently fixed."""
+        """Buffer content of a page that is currently fixed.
+
+        Handing out the raw bytearray lets the caller mutate the page
+        behind any cached :class:`SlottedPage` view, so the frame's view
+        cache is invalidated (generation bump).  Slotted-page code
+        should prefer :meth:`fix_view`/:meth:`view_of`.
+        """
         frame = self._frames.get(page_id)
         if frame is None:
             raise InvalidAddressError(f"page {page_id} is not resident")
         if frame.fix_count <= 0:
             raise BufferError_(f"page {page_id} is not fixed")
+        frame.gen += 1
         return frame.data
+
+    # -- cached slotted views ---------------------------------------------------
+
+    def fix_view(self, page_id: int) -> SlottedPage:
+        """Fix a page and return its cached :class:`SlottedPage` view.
+
+        The view is created once per residency (or after a raw
+        ``page_data`` access) and reused by every subsequent
+        ``fix_view``/``view_of``, so the heap's record operations stop
+        paying a header decode + wrapper allocation per access.  Only
+        meaningful for slotted pages: creating a view over a raw page
+        (e.g. a long-object data page) would *format* it.
+        """
+        self.fix(page_id)
+        return self._view(self._frames[page_id])
+
+    def view_of(self, page_id: int) -> SlottedPage:
+        """Cached view of a page that is currently fixed (no new fix)."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise InvalidAddressError(f"page {page_id} is not resident")
+        if frame.fix_count <= 0:
+            raise BufferError_(f"page {page_id} is not fixed")
+        return self._view(frame)
+
+    def _view(self, frame: _Frame) -> SlottedPage:
+        view = frame.view
+        if view is None or frame.view_gen != frame.gen:
+            view = frame.view = SlottedPage(frame.data, self.disk.page_size)
+            frame.view_gen = frame.gen
+        return view
 
     def unfix(self, page_id: int, dirty: bool = False) -> None:
         """Release one fix; ``dirty=True`` marks the page modified."""
@@ -586,6 +640,26 @@ class BufferManager:
             self.policy.on_remove(pid)
         self._frames.clear()
         self.policy.on_clear()
+
+    def reset(self) -> None:
+        """Drop every frame *without* writing anything back.
+
+        This is the snapshot-restore companion of :meth:`clear`: when
+        the disk underneath is about to be (or was just) reset to a
+        snapshot, buffered dirty pages belong to the abandoned state and
+        must not be flushed over the restored one.  No I/O is charged.
+        The policy is re-armed from scratch — every resident page is
+        removed, retained history is dropped (:meth:`~ReplacementPolicy.
+        on_clear`) and the capacity re-bound — so the manager behaves
+        like a freshly constructed one over the restored disk.
+        """
+        if any(frame.fix_count > 0 for frame in self._frames.values()):
+            raise BufferError_("cannot reset the buffer while pages are fixed")
+        for pid in list(self._frames):
+            self.policy.on_remove(pid)
+        self._frames.clear()
+        self.policy.on_clear()
+        self.policy.bind_capacity(self.capacity)
 
     # -- eviction ------------------------------------------------------------------
 

@@ -28,6 +28,28 @@ from repro.storage.metrics import MetricsCollector, MetricsSnapshot
 
 
 @dataclass(frozen=True)
+class DiskSnapshot:
+    """A restorable image of a disk: page bytes plus allocation state.
+
+    ``image`` is the canonical backend page image (a dense tuple of
+    page bytes indexed by page id, ``None`` for holes — see
+    :data:`~repro.storage.backends.PageImage`), so a snapshot taken
+    over one backend restores onto any other.  Everything here is
+    immutable and picklable: the benchmark snapshot store spills these
+    to disk for process-pool workers.
+    """
+
+    page_size: int
+    next_page_id: int
+    allocated: frozenset[int]
+    image: tuple
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.allocated)
+
+
+@dataclass(frozen=True)
 class DiskGeometry:
     """A simple disk service-time model (per I/O call and per page).
 
@@ -118,8 +140,12 @@ class SimulatedDisk:
         """Read several pages in **one** I/O call."""
         if not page_ids:
             return []
-        for page_id in page_ids:
-            self._require(page_id)
+        # One set containment check for the whole run (C speed) instead
+        # of a _require call per page; the per-page loop runs only to
+        # name the offender once a violation is known.
+        if not self._allocated.issuperset(page_ids):
+            for page_id in page_ids:
+                self._require(page_id)
         self.metrics.record_read_call(len(page_ids))
         return self.backend.read_run(page_ids)
 
@@ -129,22 +155,66 @@ class SimulatedDisk:
 
     def write_pages(self, items: Iterable[tuple[int, bytes]]) -> None:
         """Write several pages in **one** I/O call."""
+        page_size = self.page_size
         staged: list[tuple[int, bytes]] = []
         for page_id, data in items:
-            self._require(page_id)
-            if len(data) != self.page_size:
+            if len(data) != page_size:
                 raise StorageError(
-                    f"page {page_id}: write of {len(data)} bytes, expected {self.page_size}"
+                    f"page {page_id}: write of {len(data)} bytes, expected {page_size}"
                 )
             staged.append((page_id, bytes(data)))
         if not staged:
             return
+        # Validation stays ahead of the backend write so a bad page in a
+        # batch never half-applies the batch (one pass, as for reads).
+        if not self._allocated.issuperset(item[0] for item in staged):
+            for page_id, _ in staged:
+                self._require(page_id)
         self.metrics.record_write_call(len(staged))
         self.backend.write_run(staged)
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write one page in one I/O call."""
         self.write_pages([(page_id, data)])
+
+    # -- snapshot / restore -----------------------------------------------------
+
+    def snapshot(self) -> DiskSnapshot:
+        """A restorable image of every page plus allocation bookkeeping.
+
+        Taking a snapshot is a lifecycle operation, not an I/O call: no
+        metric moves.  Callers that want dirty buffered pages included
+        must flush the buffer first (``StorageEngine.flush``).
+        """
+        allocated = self._allocated
+        # Canonicalise: a backend may represent freed-but-extant pages
+        # either as None (memory) or as their stale bytes (a file keeps
+        # its extent), so unallocated indices are masked to None here —
+        # snapshots of the same disk state are identical no matter
+        # which backend held the bytes.
+        image = tuple(
+            page if index in allocated else None
+            for index, page in enumerate(self.backend.snapshot())
+        )
+        return DiskSnapshot(
+            page_size=self.page_size,
+            next_page_id=self._next_id,
+            allocated=frozenset(allocated),
+            image=image,
+        )
+
+    def restore(self, snapshot: DiskSnapshot) -> None:
+        """Reset pages and allocation state to a snapshot.  No I/O is
+        charged; any buffered frames over this disk are stale afterwards
+        and must be dropped (``BufferManager.reset``)."""
+        if snapshot.page_size != self.page_size:
+            raise StorageError(
+                f"snapshot of {snapshot.page_size}-byte pages cannot restore "
+                f"onto a disk with {self.page_size}-byte pages"
+            )
+        self.backend.restore(snapshot.image)
+        self._allocated = set(snapshot.allocated)
+        self._next_id = snapshot.next_page_id
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -41,8 +41,7 @@ class HeapFile:
             )
         page_id = self.segment.last_page()
         if page_id is not None:
-            data = self.buffer.fix(page_id)
-            page = SlottedPage(data, self.page_size)
+            page = self.buffer.fix_view(page_id)
             try:
                 slot = page.insert(record)
             except PageOverflowError:
@@ -51,7 +50,7 @@ class HeapFile:
                 self.buffer.unfix(page_id, dirty=True)
                 return Rid(page_id, slot)
         page_id = self.segment.allocate_page()
-        page = SlottedPage(self.buffer.page_data(page_id), self.page_size)
+        page = self.buffer.view_of(page_id)
         slot = page.insert(record)
         self.buffer.unfix(page_id, dirty=True)
         return Rid(page_id, slot)
@@ -65,9 +64,8 @@ class HeapFile:
         page is only marked dirty and written back on flush/eviction.
         """
         self._require_page(rid.page_id)
-        data = self.buffer.fix(rid.page_id)
+        page = self.buffer.fix_view(rid.page_id)
         try:
-            page = SlottedPage(data, self.page_size)
             page.update(rid.slot, record)
         finally:
             self.buffer.unfix(rid.page_id, dirty=True)
@@ -77,9 +75,8 @@ class HeapFile:
     def delete(self, rid: Rid) -> None:
         """Delete the record at ``rid``."""
         self._require_page(rid.page_id)
-        data = self.buffer.fix(rid.page_id)
+        page = self.buffer.fix_view(rid.page_id)
         try:
-            page = SlottedPage(data, self.page_size)
             page.delete(rid.slot)
         finally:
             self.buffer.unfix(rid.page_id, dirty=True)
@@ -89,29 +86,32 @@ class HeapFile:
     def read(self, rid: Rid) -> bytes:
         """Read one record by record id (one page fix)."""
         self._require_page(rid.page_id)
-        data = self.buffer.fix(rid.page_id)
+        page = self.buffer.fix_view(rid.page_id)
         try:
-            page = SlottedPage(data, self.page_size)
             return page.read(rid.slot)
         finally:
             self.buffer.unfix(rid.page_id)
 
-    def read_many(self, rids: list[Rid]) -> list[bytes]:
+    def read_many(self, rids: list[Rid]) -> list[memoryview]:
         """Read several records; all missing pages load in one I/O call.
 
         This is DASDBS's set-oriented record access: the page set of
-        the record list is fetched together.
+        the record list is fetched together.  The requested records are
+        grouped by page — one cached page view per distinct page, not a
+        fresh wrapper per rid — and returned as **zero-copy views** into
+        the page buffers.  Callers must decode each record immediately
+        (the models deserialise on the spot); the views alias live
+        buffer frames and go stale at the next mutation of their page.
         """
         unique_pages = list(dict.fromkeys(rid.page_id for rid in rids))
         for page_id in unique_pages:
             self._require_page(page_id)
-        frames = self.buffer.fix_many(unique_pages)
+        self.buffer.fix_many(unique_pages)
         try:
-            out: list[bytes] = []
-            for rid in rids:
-                page = SlottedPage(frames[rid.page_id], self.page_size)
-                out.append(page.read(rid.slot))
-            return out
+            views = {
+                page_id: self.buffer.view_of(page_id) for page_id in unique_pages
+            }
+            return [views[rid.page_id].read_view(rid.slot) for rid in rids]
         finally:
             for page_id in unique_pages:
                 self.buffer.unfix(page_id)
@@ -119,10 +119,9 @@ class HeapFile:
     def scan(self) -> Iterator[tuple[Rid, bytes]]:
         """Full scan in page order; each page is fixed exactly once."""
         for page_id in self.segment.page_ids:
-            data = self.buffer.fix(page_id)
+            page = self.buffer.fix_view(page_id)
             try:
-                page = SlottedPage(data, self.page_size)
-                records = list(page.records())
+                records = page.records()
             finally:
                 self.buffer.unfix(page_id)
             for slot, record in records:

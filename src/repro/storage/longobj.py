@@ -331,6 +331,25 @@ class LongObjectStore:
             self.segment.release_page(page_id)
         self._directories.pop(address.root_page_id, None)
 
+    # -- snapshot state ----------------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Restorable in-memory state: segment pages + directory cache.
+
+        :class:`ObjectDirectory` values are immutable, so sharing them
+        between the captured state and live stores is safe; the
+        containers themselves are copied on both capture and restore so
+        neither side can mutate the other's bookkeeping.
+        """
+        return {
+            "pages": self.segment.capture_state(),
+            "directories": dict(self._directories),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.segment.restore_state(state["pages"])
+        self._directories = dict(state["directories"])
+
     # -- internals ---------------------------------------------------------------------
 
     def _cached_directory(self, address: LongObjectAddress) -> ObjectDirectory:

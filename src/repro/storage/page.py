@@ -74,13 +74,14 @@ class SlottedPage:
     marked dirty afterwards.
     """
 
-    __slots__ = ("data", "page_size", "_n_slots", "_free")
+    __slots__ = ("data", "page_size", "_n_slots", "_free", "_mv")
 
     def __init__(self, data: bytearray, page_size: int = PAGE_SIZE) -> None:
         if len(data) != page_size:
             raise StorageError(f"page buffer of {len(data)} bytes, expected {page_size}")
         self.data = data
         self.page_size = page_size
+        self._mv: memoryview | None = None
         magic, n_slots, free_start = _HEADER_UNPACK(data, 0)
         if magic != _MAGIC:
             self.format()
@@ -169,6 +170,28 @@ class SlottedPage:
         if offset == _TOMBSTONE:
             raise InvalidAddressError(f"slot {slot} is deleted")
         return bytes(self.data[offset : offset + length])
+
+    def read_view(self, slot: int) -> memoryview:
+        """Zero-copy view of the record in ``slot``.
+
+        The view aliases the live page buffer: it is only valid until
+        the page is next mutated (or, for a buffered page, written over
+        after eviction), so callers must decode it immediately — the
+        contract of the set-oriented read path, where every record is
+        deserialised on the spot and the bytes are never kept.
+
+        One whole-page memoryview is created lazily and kept for the
+        view's lifetime (a memoryview over a bytearray stays live
+        through in-place mutation; pages never resize), so each record
+        read costs a single slice, not a buffer export plus a slice.
+        """
+        offset, length = self._slot(slot)
+        if offset == _TOMBSTONE:
+            raise InvalidAddressError(f"slot {slot} is deleted")
+        mv = self._mv
+        if mv is None:
+            mv = self._mv = memoryview(self.data)
+        return mv[offset : offset + length]
 
     def update(self, slot: int, record: bytes) -> None:
         """Replace the record in ``slot``.

@@ -47,6 +47,21 @@ class Segment:
                 f"segment {self.name!r} has no page index {index}"
             ) from None
 
+    def capture_state(self) -> list[int]:
+        """The segment's page ids, as restorable state (a copy)."""
+        return list(self._page_ids)
+
+    def restore_state(self, page_ids: list[int]) -> None:
+        """Adopt a captured page-id list (the pages must already exist
+        on the disk — a snapshot restore provides them)."""
+        if self._page_ids:
+            raise InvalidAddressError(
+                f"segment {self.name!r} already owns pages; "
+                "restore requires a fresh segment"
+            )
+        self._page_ids = list(page_ids)
+        self._page_set = set(page_ids)
+
     def allocate_page(self) -> int:
         """Allocate a fresh page on disk and register it.
 

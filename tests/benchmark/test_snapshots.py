@@ -1,0 +1,183 @@
+"""Clone-vs-rebuild parity of the extension snapshot store (ISSUE 4).
+
+The contract: a model served from the snapshot store is **bit-identical**
+to a freshly rebuilt one — same page bytes, same allocation state, same
+counters for every subsequent operation — for all five storage models,
+and mutating a clone never contaminates the cached image or later
+clones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.snapshots import DEFAULT_STORE, SnapshotStore, snapshot_key
+from repro.benchmark.workload import WorkloadExecutor, WorkloadSpec, compile_trace
+from repro.errors import BenchmarkError
+
+#: Every registered storage model, including the analytical-only
+#: NSM+index — the snapshot store must serve all five.
+ALL_MODELS = ("DSM", "DASDBS-DSM", "NSM", "NSM+index", "DASDBS-NSM")
+
+CFG = BenchmarkConfig(
+    n_objects=24,
+    buffer_pages=48,
+    loops=3,
+    q1a_sample=3,
+    q1b_sample=1,
+    q2a_sample=2,
+    seed=17,
+)
+
+#: A trace that reads, navigates, scans and updates.
+SPEC = WorkloadSpec(name="mix", n_ops=30, seed=9)
+TRACE = compile_trace(SPEC, CFG.n_objects)
+
+
+def _rebuilt(model_name: str, config: BenchmarkConfig = CFG):
+    return BenchmarkRunner(config.with_changes(snapshots=False)).build_model(
+        model_name
+    )
+
+
+def _cloned(model_name: str, config: BenchmarkConfig = CFG):
+    return BenchmarkRunner(config.with_changes(snapshots=True)).build_model(
+        model_name
+    )
+
+
+def _disk_state(model):
+    snap = model.engine.snapshot()
+    return (snap.image, snap.allocated, snap.next_page_id)
+
+
+@pytest.mark.parametrize("model_name", ALL_MODELS)
+class TestCloneParity:
+    def test_page_bytes_identical(self, model_name):
+        rebuilt, cloned = _rebuilt(model_name), _cloned(model_name)
+        try:
+            assert _disk_state(cloned) == _disk_state(rebuilt)
+            assert cloned.n_objects == rebuilt.n_objects
+            assert cloned.relation_pages() == rebuilt.relation_pages()
+        finally:
+            rebuilt.engine.close()
+            cloned.engine.close()
+
+    def test_workload_counters_identical(self, model_name):
+        rebuilt, cloned = _rebuilt(model_name), _cloned(model_name)
+        try:
+            want = WorkloadExecutor(rebuilt, TRACE).run()
+            got = WorkloadExecutor(cloned, TRACE).run()
+            assert got.raw == want.raw
+        finally:
+            rebuilt.engine.close()
+            cloned.engine.close()
+
+    def test_mutated_clone_does_not_contaminate_the_image(self, model_name):
+        """Updates and deletes on a clone must never reach the cached
+        snapshot: the next clone still matches a fresh rebuild."""
+        first = _cloned(model_name)
+        try:
+            refs = first.all_refs()
+            first.update_roots(refs[:3], {"Name": "mutated"})
+            first.delete_object(refs[-1])
+            first.engine.flush()
+        finally:
+            first.engine.close()
+        rebuilt, second = _rebuilt(model_name), _cloned(model_name)
+        try:
+            assert _disk_state(second) == _disk_state(rebuilt)
+            got = WorkloadExecutor(second, TRACE).run()
+            want = WorkloadExecutor(rebuilt, TRACE).run()
+            assert got.raw == want.raw
+        finally:
+            rebuilt.engine.close()
+            second.engine.close()
+
+
+class TestStore:
+    def test_extension_is_built_once(self):
+        config = CFG.with_changes(seed=7101)  # fresh key for this test
+        runner = BenchmarkRunner(config)
+        before = DEFAULT_STORE.builds
+        runner.build_model("DSM").engine.close()
+        runner.build_model("DSM").engine.close()
+        BenchmarkRunner(config).build_model("DSM").engine.close()
+        assert DEFAULT_STORE.builds == before + 1
+
+    def test_key_excludes_buffer_and_backend_knobs(self):
+        small = CFG.with_changes(buffer_pages=8, policy="2q", backend="file")
+        assert snapshot_key(small, "DSM") == snapshot_key(CFG, "DSM")
+        other_scale = CFG.with_changes(n_objects=25)
+        assert snapshot_key(other_scale, "DSM") != snapshot_key(CFG, "DSM")
+
+    def test_clone_rejects_page_size_mismatch(self):
+        store = SnapshotStore()
+        runner = BenchmarkRunner(CFG)
+        snapshot = store.get(CFG, "DSM", lambda: runner.stations)
+        with pytest.raises(BenchmarkError):
+            store.clone(snapshot, CFG.with_changes(page_size=1024))
+
+    def test_spill_and_preload_round_trip(self, tmp_path):
+        store = SnapshotStore()
+        runner = BenchmarkRunner(CFG)
+        snapshot = store.get(CFG, "DASDBS-NSM", lambda: runner.stations)
+        path = store.spill(snapshot, str(tmp_path))
+        worker_store = SnapshotStore()
+        worker_store.preload(path)
+        loaded = worker_store.get(
+            CFG, "DASDBS-NSM", lambda: pytest.fail("cache miss after preload")
+        )
+        assert loaded.disk == snapshot.disk
+        assert loaded.model_state == snapshot.model_state
+        rebuilt = _rebuilt("DASDBS-NSM")
+        cloned = worker_store.clone(loaded, CFG)
+        try:
+            assert _disk_state(cloned) == _disk_state(rebuilt)
+        finally:
+            rebuilt.engine.close()
+            cloned.engine.close()
+
+    def test_eviction_only_costs_a_rebuild(self):
+        store = SnapshotStore(max_snapshots=1)
+        runner = BenchmarkRunner(CFG)
+        store.get(CFG, "DSM", lambda: runner.stations)
+        store.get(CFG, "NSM", lambda: runner.stations)  # evicts DSM
+        again = store.get(CFG, "DSM", lambda: runner.stations)
+        assert store.builds == 3
+        rebuilt = _rebuilt("DSM")
+        cloned = store.clone(again, CFG)
+        try:
+            assert _disk_state(cloned) == _disk_state(rebuilt)
+        finally:
+            rebuilt.engine.close()
+            cloned.engine.close()
+
+
+class TestBackendInteraction:
+    def test_file_backend_clones_share_counters_with_memory(self, tmp_path):
+        config = CFG.with_changes(backend="file", backend_path=str(tmp_path / "p"))
+        memory_model = _cloned("DASDBS-NSM")
+        file_model = _cloned("DASDBS-NSM", config)
+        try:
+            want = WorkloadExecutor(memory_model, TRACE).run()
+            got = WorkloadExecutor(file_model, TRACE).run()
+            assert got.raw == want.raw
+        finally:
+            memory_model.engine.close()
+            file_model.engine.close()
+
+    def test_trace_backend_bypasses_snapshots(self, tmp_path):
+        """Traces must stay complete and replayable, so the runner
+        rebuilds under the trace backend even with snapshots on."""
+        config = CFG.with_changes(
+            backend="trace", backend_path=str(tmp_path / "traces"), snapshots=True
+        )
+        runner = BenchmarkRunner(config)
+        assert not runner.snapshots_active
+        runner.run_model("DSM", ("1c",))
+        trace_text = (tmp_path / "traces" / "DSM.jsonl").read_text()
+        assert '"op": "restore"' not in trace_text
+        assert '"op": "allocate"' in trace_text

@@ -16,7 +16,9 @@ BENCH_NAMES = {
     "page_fill",
     "page_scan",
     "buffer_churn",
+    "read_many_zero_copy",
     "sweep_cell",
+    "sweep_cell_snapshot",
 }
 
 
@@ -40,7 +42,13 @@ class TestReport:
         """The retained naive implementations are measured, so the
         speedup claim stays a live number (its value is machine-
         dependent and deliberately not asserted here)."""
-        for name in ("serializer_encode", "serializer_decode", "page_scan"):
+        for name in (
+            "serializer_encode",
+            "serializer_decode",
+            "page_scan",
+            "read_many_zero_copy",
+            "sweep_cell_snapshot",
+        ):
             assert report.result(name).reference_ms is not None
             assert report.result(name).speedup is not None
 

@@ -88,6 +88,31 @@ class TestDeterminism:
         )
         assert multiproc.to_json() == result.to_json()
 
+    def test_snapshot_clones_change_no_byte(self, result):
+        """ISSUE 4 acceptance: the module fixture runs with the snapshot
+        store on (the default); rebuilding every cell from scratch must
+        produce the identical JSON."""
+        rebuilt = sweep.run_sweep(
+            CFG.with_changes(snapshots=False), WORKLOADS, CAPACITIES, POLICIES, MODELS
+        )
+        assert rebuilt.to_json() == result.to_json()
+
+    def test_process_path_spilled_snapshots_change_no_byte(self, result):
+        """Workers cloning from spilled snapshot artifacts produce the
+        same bytes as workers rebuilding from scratch."""
+        spilled = sweep.run_sweep(
+            CFG, WORKLOADS, CAPACITIES, POLICIES, MODELS, processes=2
+        )
+        rebuilt = sweep.run_sweep(
+            CFG.with_changes(snapshots=False),
+            WORKLOADS,
+            CAPACITIES,
+            POLICIES,
+            MODELS,
+            processes=2,
+        )
+        assert spilled.to_json() == rebuilt.to_json() == result.to_json()
+
     def test_json_is_valid_and_raw_integer(self, result):
         payload = json.loads(result.to_json())
         assert len(payload["cells"]) == len(result.cells)
@@ -204,6 +229,28 @@ class TestCLI:
         assert "Sweep —" in out
         payload = json.loads(json_path.read_text())
         assert len(payload["cells"]) == 2 * 2 * 2 * 1
+
+    def test_no_snapshots_flag_changes_no_byte(self, tmp_path):
+        args = [
+            "sweep",
+            "--fast",
+            "--objects",
+            "30",
+            "--ops",
+            "8",
+            "--capacities",
+            "16",
+            "--policies",
+            "lru",
+            "--workloads",
+            "uniform",
+            "--models",
+            "DASDBS-NSM",
+        ]
+        on_path, off_path = tmp_path / "on.json", tmp_path / "off.json"
+        assert main(args + ["--snapshots", "--sweep-json", str(on_path)]) == 0
+        assert main(args + ["--no-snapshots", "--sweep-json", str(off_path)]) == 0
+        assert on_path.read_bytes() == off_path.read_bytes()
 
     def test_cli_rejects_bad_capacity(self):
         with pytest.raises(SystemExit):

@@ -334,3 +334,60 @@ def test_contiguous_batches_helper():
     assert list(_contiguous_batches([1, 2, 3, 7, 8, 10], 32)) == [[1, 2, 3], [7, 8], [10]]
     assert list(_contiguous_batches([], 32)) == []
     assert list(_contiguous_batches([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+
+class TestCachedViews:
+    """fix_view/view_of: one SlottedPage wrapper per residency."""
+
+    def test_view_is_cached_per_residency(self):
+        disk, buf = make()
+        pid = disk.allocate()
+        view = buf.fix_view(pid)
+        assert buf.view_of(pid) is view
+        buf.unfix(pid)
+        assert buf.fix_view(pid) is view  # still resident, still cached
+        buf.unfix(pid)
+
+    def test_view_survives_mutation_through_itself(self):
+        disk, buf = make()
+        pid = disk.allocate()
+        view = buf.fix_view(pid)
+        slot = view.insert(b"abc")
+        assert buf.view_of(pid) is view
+        assert view.read(slot) == b"abc"
+        buf.unfix(pid, dirty=True)
+
+    def test_raw_page_data_invalidates_the_view(self):
+        disk, buf = make()
+        pid = disk.allocate()
+        view = buf.fix_view(pid)
+        view.insert(b"abc")
+        raw = buf.page_data(pid)  # raw access may mutate behind the view
+        raw[:] = bytes(len(raw))
+        fresh = buf.view_of(pid)
+        assert fresh is not view
+        assert fresh.n_slots == 0
+        buf.unfix(pid, dirty=True)
+
+    def test_eviction_builds_a_fresh_view(self):
+        disk, buf = make(capacity=1)
+        a, b = disk.allocate(), disk.allocate()
+        view = buf.fix_view(a)
+        view.insert(b"abc")
+        buf.unfix(a, dirty=True)
+        buf.fix(b)
+        buf.unfix(b)  # evicts a (capacity 1)
+        again = buf.fix_view(a)
+        assert again is not view
+        assert again.read(0) == b"abc"
+        buf.unfix(a)
+
+    def test_view_of_requires_fix(self):
+        disk, buf = make()
+        pid = disk.allocate()
+        buf.fix(pid)
+        buf.unfix(pid)
+        with pytest.raises(BufferError_):
+            buf.view_of(pid)
+        with pytest.raises(InvalidAddressError):
+            buf.view_of(4242)

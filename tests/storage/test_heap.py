@@ -117,3 +117,32 @@ class TestScan:
             heap.insert(bytes([i]))
         matches = heap.scan_filter(lambda record: record[0] % 2 == 0)
         assert len(matches) == 5
+
+
+class TestZeroCopyReads:
+    """read_many's zero-copy contract: views, decoded immediately."""
+
+    def test_read_many_returns_memoryviews(self, heap):
+        rids = [heap.insert(bytes([i]) * 40) for i in range(6)]
+        records = heap.read_many(rids)
+        assert all(isinstance(record, memoryview) for record in records)
+        assert [bytes(record) for record in records] == [
+            bytes([i]) * 40 for i in range(6)
+        ]
+
+    def test_views_alias_the_live_page(self, heap):
+        """Documents the contract: a view reflects later page mutations,
+        which is why callers must decode before the next write."""
+        rid = heap.insert(b"aaaa")
+        (view,) = heap.read_many([rid])
+        heap.update(rid, b"bbbb")
+        assert bytes(view) == b"bbbb"
+
+    def test_read_many_after_update_and_delete(self, heap):
+        rids = [heap.insert(bytes([i]) * 20) for i in range(8)]
+        heap.update(rids[2], b"\xaa" * 20)
+        heap.delete(rids[5])
+        live = [rid for rid in rids if rid != rids[5]]
+        records = heap.read_many(live)
+        assert bytes(records[2]) == b"\xaa" * 20
+        assert bytes(records[-1]) == bytes([7]) * 20

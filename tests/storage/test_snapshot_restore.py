@@ -1,0 +1,225 @@
+"""Storage-level snapshot/restore: disk images, backends, buffer reset."""
+
+import pytest
+
+from repro.errors import BufferError_, InvalidAddressError, StorageError
+from repro.storage import StorageEngine
+from repro.storage.backends import (
+    FileBackend,
+    MemoryBackend,
+    TraceBackend,
+    replay_trace,
+)
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import SimulatedDisk
+
+PAGE = 256
+
+
+def _scribbled_disk(backend="memory", path=None):
+    disk = SimulatedDisk(page_size=PAGE, backend=backend, backend_path=path)
+    pids = disk.allocate_many(6)
+    disk.write_pages((pid, bytes([pid + 1]) * PAGE) for pid in pids[:4])
+    disk.free(pids[4])
+    return disk, pids
+
+
+class TestDiskSnapshot:
+    def test_restore_rewinds_pages_and_allocation(self):
+        disk, pids = _scribbled_disk()
+        snap = disk.snapshot()
+        disk.write_page(pids[0], b"\xee" * PAGE)
+        disk.allocate_many(3)
+        disk.restore(snap)
+        assert disk.read_page(pids[0]) == b"\x01" * PAGE
+        assert disk.allocated_pages == snap.n_pages
+        assert disk.allocate() == 6  # next id rewound too
+
+    def test_snapshot_is_immune_to_later_writes(self):
+        disk, pids = _scribbled_disk()
+        snap = disk.snapshot()
+        image_before = snap.image
+        disk.write_page(pids[1], b"\x99" * PAGE)
+        assert snap.image == image_before
+        disk.restore(snap)
+        assert disk.read_page(pids[1]) == b"\x02" * PAGE
+
+    def test_freed_pages_stay_unreadable_after_restore(self):
+        disk, pids = _scribbled_disk()
+        disk.restore(disk.snapshot())
+        with pytest.raises(InvalidAddressError):
+            disk.read_page(pids[4])
+
+    def test_snapshot_charges_no_io(self):
+        disk, _ = _scribbled_disk()
+        disk.metrics.reset()
+        snap = disk.snapshot()
+        disk.restore(snap)
+        counters = disk.metrics.snapshot()
+        assert counters.io_calls == 0
+        assert counters.io_pages == 0
+
+    def test_page_size_mismatch_rejected(self):
+        disk, _ = _scribbled_disk()
+        snap = disk.snapshot()
+        other = SimulatedDisk(page_size=2 * PAGE)
+        with pytest.raises(StorageError):
+            other.restore(snap)
+
+    def test_image_restores_across_backends(self, tmp_path):
+        """The canonical image built in memory clones onto a file disk."""
+        memory_disk, pids = _scribbled_disk()
+        snap = memory_disk.snapshot()
+        file_disk = SimulatedDisk(
+            page_size=PAGE, backend="file", backend_path=str(tmp_path / "clone.pages")
+        )
+        file_disk.restore(snap)
+        live = [pid for pid in pids if pid != pids[4]]
+        assert file_disk.read_pages(live) == memory_disk.read_pages(live)
+        file_disk.close()
+
+    def test_file_snapshot_restores_into_memory(self, tmp_path):
+        file_disk, pids = _scribbled_disk(
+            backend="file", path=str(tmp_path / "src.pages")
+        )
+        snap = file_disk.snapshot()
+        memory_disk = SimulatedDisk(page_size=PAGE)
+        memory_disk.restore(snap)
+        assert memory_disk.read_page(pids[2]) == b"\x03" * PAGE
+        file_disk.close()
+
+    def test_disk_images_are_canonical_across_backends(self, tmp_path):
+        """Freed pages leave None holes in memory but stale bytes in a
+        file's extent; the disk-level snapshot masks both to None, so
+        the same logical state yields the identical image everywhere."""
+        memory_disk, pids = _scribbled_disk()
+        file_disk, _ = _scribbled_disk(
+            backend="file", path=str(tmp_path / "twin.pages")
+        )
+        memory_snap, file_snap = memory_disk.snapshot(), file_disk.snapshot()
+        assert memory_snap.image == file_snap.image
+        assert memory_snap.image[pids[4]] is None  # the freed page
+        # ... and the image round-trips through a file backend.
+        round_trip = SimulatedDisk(
+            page_size=PAGE, backend="file", backend_path=str(tmp_path / "rt.pages")
+        )
+        round_trip.restore(memory_snap)
+        assert round_trip.snapshot().image == memory_snap.image
+        file_disk.close()
+        round_trip.close()
+
+
+class TestBackendSnapshots:
+    def test_memory_restore_copies_the_image(self):
+        backend = MemoryBackend(PAGE)
+        backend.allocate_run(0, 2)
+        backend.write_run([(0, b"a" * PAGE)])
+        image = backend.snapshot()
+        backend.write_run([(0, b"b" * PAGE)])
+        backend.restore(image)
+        assert backend.read_run([0]) == [b"a" * PAGE]
+        # Mutating the restored backend must not leak into the image.
+        backend.write_run([(1, b"c" * PAGE)])
+        assert image[1] == bytes(PAGE)
+
+    def test_trace_backend_records_snapshot_and_restore(self):
+        backend = TraceBackend(MemoryBackend(PAGE))
+        backend.allocate_run(0, 1)
+        backend.write_run([(0, b"x" * PAGE)])
+        image = backend.snapshot()
+        backend.write_run([(0, b"y" * PAGE)])
+        backend.restore(image)
+        assert [e.op for e in backend.events] == [
+            "allocate",
+            "write",
+            "snapshot",
+            "write",
+            "restore",
+        ]
+        assert backend.inner.read_run([0]) == [b"x" * PAGE]
+
+    def test_replay_refuses_restore_events(self):
+        backend = TraceBackend(MemoryBackend(PAGE))
+        backend.allocate_run(0, 1)
+        backend.restore(backend.snapshot())
+        with pytest.raises(StorageError, match="restore"):
+            replay_trace(backend.events, MemoryBackend(PAGE))
+
+    def test_replay_skips_snapshot_events(self):
+        backend = TraceBackend(MemoryBackend(PAGE))
+        backend.allocate_run(0, 1)
+        backend.write_run([(0, b"z" * PAGE)])
+        backend.snapshot()
+        replayed = MemoryBackend(PAGE)
+        replay_trace(backend.events, replayed)
+        assert replayed.read_run([0]) == [b"z" * PAGE]
+
+    def test_file_snapshot_shrinks_and_grows_the_file(self, tmp_path):
+        backend = FileBackend(PAGE, path=str(tmp_path / "d.pages"))
+        backend.allocate_run(0, 2)
+        backend.write_run([(0, b"1" * PAGE), (1, b"2" * PAGE)])
+        image = backend.snapshot()
+        backend.allocate_run(2, 3)
+        backend.restore(image)
+        assert backend.read_run([0, 1]) == [b"1" * PAGE, b"2" * PAGE]
+        backend.close()
+
+
+class TestBufferReset:
+    def _buffer(self, capacity=4):
+        disk = SimulatedDisk(page_size=PAGE)
+        pids = disk.allocate_many(3)
+        return BufferManager(disk, capacity=capacity), disk, pids
+
+    def test_reset_drops_dirty_frames_unwritten(self):
+        buffer, disk, pids = self._buffer()
+        data = buffer.fix(pids[0])
+        data[:4] = b"dirt"
+        buffer.unfix(pids[0], dirty=True)
+        disk.metrics.reset()
+        buffer.reset()
+        assert buffer.resident_pages == 0
+        counters = disk.metrics.snapshot()
+        assert counters.write_calls == 0  # clear() would have flushed
+        assert disk.read_page(pids[0]) == bytes(PAGE)
+
+    def test_reset_rejects_fixed_pages(self):
+        buffer, _, pids = self._buffer()
+        buffer.fix(pids[0])
+        with pytest.raises(BufferError_):
+            buffer.reset()
+
+    def test_reset_rearms_the_policy(self):
+        buffer, _, pids = self._buffer(capacity=2)
+        for pid in pids[:2]:
+            buffer.fix(pid)
+            buffer.unfix(pid)
+        buffer.reset()
+        # A re-armed policy has forgotten every resident page: new
+        # fixes must not try to evict ghosts of the dropped frames.
+        for pid in pids:
+            buffer.fix(pid)
+            buffer.unfix(pid)
+        assert buffer.resident_pages == 2
+
+
+class TestEngineSnapshot:
+    def test_engine_snapshot_includes_buffered_dirty_pages(self):
+        engine = StorageEngine(page_size=PAGE, buffer_pages=8)
+        heap = engine.new_heap("r")
+        rid = heap.insert(b"hello")  # dirty in the buffer, not on disk
+        snap = engine.snapshot()  # flushes first
+        heap.update(rid, b"HELLO")
+        engine.restore(snap)
+        assert heap.read(rid) == b"hello"
+
+    def test_engine_restore_resets_counters(self):
+        engine = StorageEngine(page_size=PAGE, buffer_pages=8)
+        heap = engine.new_heap("r")
+        heap.insert(b"x")
+        snap = engine.snapshot()
+        heap.read(heap.insert(b"y"))
+        engine.restore(snap)
+        counters = engine.metrics.snapshot()
+        assert counters.page_fixes == 0
+        assert counters.io_calls == 0
