@@ -17,6 +17,9 @@ from scratch:
   database generator and queries 1a-3b;
 * the analytical cost model (:mod:`repro.core`): Equations 1-8, the
   Table 2 parameters, and per-model/per-query estimators;
+* trace-driven clustering (:mod:`repro.clustering`): workload access
+  statistics, affinity/hot-cold placement policies, and the on-disk
+  reorganisation operator behind ``--recluster``;
 * the experiment harness (:mod:`repro.experiments`): one module per
   table and figure of the paper.
 
@@ -44,6 +47,13 @@ from repro.benchmark import (
     parse_workload,
     run_workload,
 )
+from repro.clustering import (
+    AccessStats,
+    RECLUSTER_POLICIES,
+    collect_stats,
+    placement_order,
+    recluster_model,
+)
 from repro.core import (
     AnalyticalEvaluator,
     CostWeights,
@@ -59,6 +69,7 @@ from repro.storage import StorageEngine
 __version__ = "1.0.0"
 
 __all__ = [
+    "AccessStats",
     "AnalyticalEvaluator",
     "BenchmarkConfig",
     "BenchmarkRunner",
@@ -68,6 +79,7 @@ __all__ = [
     "MODEL_CLASSES",
     "NestedTuple",
     "QuerySuite",
+    "RECLUSTER_POLICIES",
     "RelationSchema",
     "ReproError",
     "SKEWED_CONFIG",
@@ -78,12 +90,15 @@ __all__ = [
     "WorkloadParameters",
     "WorkloadResult",
     "WorkloadSpec",
+    "collect_stats",
     "compile_trace",
     "create_model",
     "derive_parameters",
     "generate_stations",
     "paper_parameters",
     "parse_workload",
+    "placement_order",
+    "recluster_model",
     "run_workload",
     "__version__",
 ]

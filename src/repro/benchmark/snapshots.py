@@ -149,6 +149,70 @@ class SnapshotStore:
         parallel.
         """
         key = snapshot_key(config, model_name, fmt)
+        return self._get_or_build(
+            key, lambda: self._build(config, model_name, stations(), fmt, key)
+        )
+
+    def get_reclustered(
+        self,
+        config: BenchmarkConfig,
+        model_name: str,
+        stations,
+        fmt: StorageFormat,
+        trace,
+        policy: str,
+    ) -> ExtensionSnapshot:
+        """The snapshot of a trace-reclustered extension; built on miss.
+
+        The key extends the base extension's key with the recluster
+        policy and the training trace's identity ``(spec, n_objects)``
+        — exactly the inputs the reorganised layout depends on.  Like
+        the base key it deliberately excludes buffer capacity and
+        replacement policy: the placement is computed from the trace's
+        object-touch pattern alone and the training replay's final page
+        bytes are buffer-independent (every dirty page is eventually
+        written with the same content), so one reclustered image serves
+        every cell of a sweep grid.
+
+        Building clones the *base* snapshot (one bulk load, ever), runs
+        the training replay plus reorganisation over a plain memory
+        backend, and images the result; clones of that image are
+        bit-identical to an inline train-and-recluster on a rebuilt
+        model, which ``tests/benchmark/test_recluster_parity.py``
+        enforces.
+        """
+        key = snapshot_key(config, model_name, fmt) + (
+            "recluster",
+            policy,
+            trace.spec,
+            trace.n_objects,
+        )
+
+        def build() -> ExtensionSnapshot:
+            # Deferred import: repro.clustering replays workload traces,
+            # which imports the benchmark layer this module lives in.
+            from repro.clustering.recluster import recluster_model
+
+            base = self.get(config, model_name, stations, fmt)
+            model = self.clone(base, config.with_changes(backend="memory"), fmt=fmt)
+            try:
+                recluster_model(model, trace, policy)
+                snapshot = ExtensionSnapshot(
+                    model_name=model_name,
+                    key=key,
+                    page_size=config.page_size,
+                    n_objects=model.n_objects,
+                    disk=model.engine.snapshot(),
+                    model_state=model.capture_state(),
+                )
+            finally:
+                model.engine.close()
+            self.builds += 1
+            return snapshot
+
+        return self._get_or_build(key, build)
+
+    def _get_or_build(self, key: tuple, build) -> ExtensionSnapshot:
         with self._lock:
             snapshot = self._snapshots.get(key)
             if snapshot is not None:
@@ -159,7 +223,7 @@ class SnapshotStore:
                 snapshot = self._snapshots.get(key)
                 if snapshot is not None:
                     return snapshot
-            snapshot = self._build(config, model_name, stations(), fmt, key)
+            snapshot = build()
             self.put(snapshot)
             return snapshot
 
@@ -252,10 +316,17 @@ class SnapshotStore:
 
     # -- spilling (process-pool workers) ------------------------------------
 
-    def spill(self, snapshot: ExtensionSnapshot, directory: str) -> str:
-        """Write a snapshot to ``directory``; returns the artifact path."""
+    def spill(
+        self, snapshot: ExtensionSnapshot, directory: str, stem: str | None = None
+    ) -> str:
+        """Write a snapshot to ``directory``; returns the artifact path.
+
+        ``stem`` overrides the file name (default: the model name) —
+        needed when one directory holds several artifacts of the same
+        model, e.g. its base extension plus reclustered variants.
+        """
         os.makedirs(directory, exist_ok=True)
-        path = os.path.join(directory, snapshot.model_name + SPILL_SUFFIX)
+        path = os.path.join(directory, (stem or snapshot.model_name) + SPILL_SUFFIX)
         with open(path, "wb") as handle:
             pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
         return path

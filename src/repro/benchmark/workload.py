@@ -33,9 +33,12 @@ import math
 import random
 from bisect import bisect_right
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.errors import BenchmarkError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.clustering.stats import AccessStats
 from repro.models.base import StorageModel
 from repro.storage.metrics import MetricsSnapshot, ScaledMetrics
 
@@ -225,7 +228,12 @@ class WorkloadExecutor:
     flush models the database disconnect, then the counters are read.
     """
 
-    def __init__(self, model: StorageModel, trace: WorkloadTrace) -> None:
+    def __init__(
+        self,
+        model: StorageModel,
+        trace: WorkloadTrace,
+        stats: "AccessStats | None" = None,
+    ) -> None:
         if trace.n_objects > model.n_objects:
             raise BenchmarkError(
                 f"trace targets {trace.n_objects} objects but {model.name} "
@@ -234,6 +242,13 @@ class WorkloadExecutor:
         self.model = model
         self.trace = trace
         self.engine = model.engine
+        #: Optional clustering statistics collector.  When present, the
+        #: executor reports every operation's touched OIDs to it and
+        #: attaches it to the buffer manager's ``fix_listener`` for the
+        #: duration of the replay.  Collection is purely observational:
+        #: the metrics of a replay with and without a collector are
+        #: identical.
+        self.stats = stats
 
     def run(self) -> WorkloadResult:
         engine = self.engine
@@ -249,21 +264,41 @@ class WorkloadExecutor:
         scan_all = model.scan_all
         update_roots = model.update_roots
         ref_of = model.ref_of
+        oid_of = model.oid_of
         restart = engine.restart_buffer
-        for index, op in enumerate(self.trace.ops):
-            if not warm and index > 0:
-                restart()
-            kind = op.kind
-            if kind == "point":
-                point(op.oid)
-            elif kind == "navigate":
-                navigate(op.oid)
-            elif kind == "scan":
-                scan_all()
-            elif kind == "update":
-                update_roots([ref_of(op.oid)], {"Name": f"workload-{index}"})
-            else:  # pragma: no cover - specs cannot produce unknown kinds
-                raise BenchmarkError(f"unknown operation kind {kind!r}")
+        stats = self.stats
+        buffer = engine.buffer
+        previous_listener = buffer.fix_listener
+        if stats is not None:
+            buffer.fix_listener = stats.page_fixed
+        try:
+            for index, op in enumerate(self.trace.ops):
+                if not warm and index > 0:
+                    restart()
+                kind = op.kind
+                if kind == "point":
+                    point(op.oid)
+                    if stats is not None:
+                        stats.record_operation((op.oid,))
+                elif kind == "navigate":
+                    children, grand = navigate(op.oid)
+                    if stats is not None:
+                        stats.record_operation(
+                            [op.oid, *map(oid_of, children), *map(oid_of, grand)]
+                        )
+                elif kind == "scan":
+                    scan_all()
+                    if stats is not None:
+                        stats.record_scan()
+                elif kind == "update":
+                    update_roots([ref_of(op.oid)], {"Name": f"workload-{index}"})
+                    if stats is not None:
+                        stats.record_operation((op.oid,))
+                else:  # pragma: no cover - specs cannot produce unknown kinds
+                    raise BenchmarkError(f"unknown operation kind {kind!r}")
+        finally:
+            if stats is not None:
+                buffer.fix_listener = previous_listener
         engine.flush()
         return WorkloadResult(
             spec=self.trace.spec,
@@ -282,7 +317,7 @@ class WorkloadExecutor:
             # value selection, exactly as in query 1b.
             self.model.fetch_full_by_key(self.model.key_of(oid))
 
-    def _navigate(self, oid: int) -> None:
+    def _navigate(self, oid: int) -> tuple[list, list]:
         model = self.model
         root_ref = model.ref_of(oid)
         model.fetch_roots([root_ref])
@@ -290,6 +325,7 @@ class WorkloadExecutor:
         grand = model._dedupe(model.fetch_refs(children)) if children else []
         if grand:
             model.fetch_roots(grand)
+        return children, grand
 
 
 def run_workload(

@@ -1,0 +1,43 @@
+"""Trace-driven object clustering and on-disk reorganisation.
+
+The paper's central claim is that physical page I/O for complex objects
+is dominated by *placement* — which subobjects land on which pages —
+yet the storage models can only produce the placement bulk loading
+gives them.  This package adds the missing axis (following Darmont et
+al.'s clustering studies): observe a workload, derive a better object
+order, and rewrite the extension in place while preserving record ids.
+
+* :mod:`repro.clustering.stats` — heat / co-access affinity / page
+  touch collection, piggybacked on the workload executor and buffer
+  manager;
+* :mod:`repro.clustering.placement` — the ``affinity`` (greedy DSTC-lite
+  chaining) and ``hotcold`` (heat segregation) policies;
+* :mod:`repro.clustering.recluster` — the train-then-rewrite driver
+  used by the benchmark runner, the sweep's ``--recluster`` axis and
+  the ``clustering`` experiment.
+"""
+
+from repro.clustering.placement import (
+    RECLUSTER_POLICIES,
+    affinity_order,
+    hotcold_order,
+    is_permutation,
+    placement_order,
+    validate_policy,
+)
+from repro.clustering.recluster import collect_stats, recluster_model
+from repro.clustering.stats import AccessStats, TraceStats, trace_stats
+
+__all__ = [
+    "AccessStats",
+    "RECLUSTER_POLICIES",
+    "TraceStats",
+    "affinity_order",
+    "collect_stats",
+    "hotcold_order",
+    "is_permutation",
+    "placement_order",
+    "recluster_model",
+    "trace_stats",
+    "validate_policy",
+]

@@ -1,0 +1,72 @@
+"""Trace-driven reorganisation: train on a replay, rewrite the layout.
+
+The driver glues the three clustering pieces together:
+
+1. :func:`collect_stats` replays a compiled trace against a loaded
+   model with an :class:`~repro.clustering.stats.AccessStats` collector
+   attached (executor- and buffer-level piggybacking);
+2. :func:`~repro.clustering.placement.placement_order` turns the
+   statistics into an object permutation;
+3. :meth:`~repro.models.base.StorageModel.recluster` rewrites the
+   model's shared-page segments into that order, preserving every
+   record id through forwarding maps.
+
+The training replay runs *unmeasured*: it mutates the database exactly
+like any replay (updates apply), but callers re-arm the buffer and zero
+the counters before measuring — the same discipline every measured run
+already follows, so reorganisation cost never leaks into a reported
+metric.  Everything is deterministic, which is what lets the benchmark
+snapshot store cache reclustered extensions and serve bit-identical
+clones (see :meth:`repro.benchmark.snapshots.SnapshotStore.
+get_reclustered`).
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.workload import WorkloadExecutor, WorkloadTrace
+from repro.clustering.placement import placement_order, validate_policy
+from repro.clustering.stats import AccessStats
+from repro.errors import BenchmarkError
+from repro.models.base import StorageModel
+
+
+def collect_stats(model: StorageModel, trace: WorkloadTrace) -> AccessStats:
+    """Replay ``trace`` against ``model``, collecting access statistics.
+
+    The replay is a full, buffer-cold execution (it applies the trace's
+    updates); its metrics are discarded — callers measure afterwards
+    with a fresh cold start.
+
+    The collector is sized by the **model**, not the trace: a trace may
+    legitimately target only a prefix of the extension, but navigation
+    steps fan out to arbitrary OIDs and the placement derived from the
+    statistics must order every object the model holds.
+    """
+    stats = AccessStats(model.n_objects)
+    WorkloadExecutor(model, trace, stats=stats).run()
+    return stats
+
+
+def recluster_model(
+    model: StorageModel, trace: WorkloadTrace, policy: str
+) -> AccessStats:
+    """Train on ``trace``, then rewrite ``model`` into the new placement.
+
+    Returns the collected statistics (the experiment modules report
+    their digests).  ``policy`` must be an *active* policy ("affinity"
+    or "hotcold"); ``"none"`` is rejected rather than silently trained:
+    an insertion-order baseline needs no training replay — the replay's
+    size-preserving in-place updates cannot move any counter a later
+    measured run reports — so callers simply skip the call (which is
+    what :meth:`~repro.benchmark.runner.BenchmarkRunner.
+    build_model_for_trace` does).
+    """
+    validate_policy(policy)
+    if policy == "none":
+        raise BenchmarkError(
+            "recluster_model needs an active placement policy; "
+            "'none' keeps the loaded layout — skip the call instead"
+        )
+    stats = collect_stats(model, trace)
+    model.recluster(placement_order(policy, stats))
+    return stats

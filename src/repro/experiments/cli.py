@@ -10,6 +10,11 @@ Usage::
     repro-experiments sweep --fast --workloads uniform "zipf(1.0)" \
         --capacities 300 1200 4800 --policies lru lru-k 2q
                                       # buffer-sensitivity grid
+    repro-experiments clustering --fast
+                                      # page reads before/after trace-
+                                      # driven on-disk reorganisation
+    repro-experiments sweep --fast --recluster none affinity
+                                      # placement as a sweep axis
     python -m repro.experiments       # same as repro-experiments
 """
 
@@ -26,8 +31,10 @@ from repro.errors import ReproError
 from repro.models.registry import resolve_models
 from repro.storage.backends import BACKEND_NAMES
 from repro.storage.buffer import POLICY_NAMES
+from repro.clustering.placement import RECLUSTER_POLICIES
 from repro.experiments import (
     ablations,
+    clustering,
     distribution,
     figure5,
     figure6,
@@ -55,6 +62,7 @@ EXPERIMENTS: dict[str, Callable[[BenchmarkConfig], str]] = {
     "figure6": figure6.render,
     "ablations": ablations.render,
     "distribution": distribution.render,
+    "clustering": clustering.render,
     "sweep": sweep.render,
     "perf": perf.render,
 }
@@ -177,6 +185,21 @@ def main(argv: list[str] | None = None) -> int:
         help="override the operation count of every workload spec",
     )
     group.add_argument(
+        "--recluster",
+        nargs="+",
+        default=list(sweep.DEFAULT_RECLUSTERS),
+        metavar="POLICY",
+        choices=RECLUSTER_POLICIES,
+        help=(
+            "trace-driven placement axis of the sweep: 'none' "
+            "(insertion order, default), 'affinity' (greedy co-access "
+            "chaining) and/or 'hotcold' (heat segregation); reclustered "
+            "cells train on the cell's own trace, rewrite the shared "
+            "pages, then replay measured (with only 'none' the output "
+            "is byte-identical to a sweep without the axis)"
+        ),
+    )
+    group.add_argument(
         "--processes",
         type=int,
         default=None,
@@ -265,6 +288,7 @@ def main(argv: list[str] | None = None) -> int:
         models=models,
         json_path=args.sweep_json,
         processes=args.processes,
+        reclusters=args.recluster,
     )
     runners["perf"] = lambda cfg: perf.render(
         cfg,

@@ -39,6 +39,8 @@ from repro.benchmark.workload import (
     compile_trace,
     parse_workload,
 )
+from repro.clustering.placement import validate_policy
+from repro.clustering.stats import trace_stats
 from repro.errors import BenchmarkError
 from repro.models.registry import MEASURED_MODELS, resolve_models
 from repro.experiments.report import render_table
@@ -50,6 +52,13 @@ from repro.storage.disk import DiskGeometry
 DEFAULT_CAPACITIES = (300, 1200, 4800)
 DEFAULT_POLICIES = ("lru", "lru-k", "2q")
 DEFAULT_WORKLOADS = ("uniform", "zipf(1.0)")
+
+#: Default recluster axis: insertion-order placement only.  With
+#: exactly this axis the sweep's text and JSON output are byte-for-byte
+#: what they were before the axis existed — the extended fields (the
+#: per-cell ``recluster`` coordinate and the per-workload trace stats)
+#: only appear once a real policy enters the grid.
+DEFAULT_RECLUSTERS = ("none",)
 
 #: Geometry behind the sweep's service-time estimates (the paper-era
 #: disk of :class:`~repro.storage.disk.DiskGeometry`'s defaults).  The
@@ -68,6 +77,8 @@ class SweepCell:
     policy: str
     model: str
     result: WorkloadResult
+    #: Placement the cell ran under ("none" = insertion order).
+    recluster: str = "none"
 
     @property
     def service_time_ms(self) -> float:
@@ -77,13 +88,13 @@ class SweepCell:
         raw = self.result.raw
         return SWEEP_GEOMETRY.service_time_ms(raw.io_calls, raw.io_pages)
 
-    def row(self) -> list[object]:
+    def row(self, with_recluster: bool = False) -> list[object]:
         """Table row: coordinates plus the per-operation metrics."""
         per_op = self.result.per_op
-        return [
-            self.model,
-            self.policy,
-            self.capacity,
+        coordinates: list[object] = [self.model, self.policy, self.capacity]
+        if with_recluster:
+            coordinates.append(self.recluster)
+        return coordinates + [
             per_op.io_calls,
             per_op.io_pages,
             self.result.hit_rate,
@@ -91,11 +102,16 @@ class SweepCell:
             self.service_time_ms / self.result.n_ops,
         ]
 
-    def to_dict(self) -> dict[str, object]:
+    def to_dict(self, with_recluster: bool = False) -> dict[str, object]:
         """JSON-stable cell encoding (raw integer counters, plus the
-        exact service-time estimate derived from them)."""
+        exact service-time estimate derived from them).
+
+        The ``recluster`` coordinate is emitted only on request — a
+        grid whose axis is the default ``("none",)`` must encode
+        byte-identically to a pre-axis grid.
+        """
         raw = self.result.raw
-        return {
+        encoded: dict[str, object] = {
             "workload": self.workload,
             "capacity": self.capacity,
             "policy": self.policy,
@@ -112,6 +128,9 @@ class SweepCell:
             "evictions": raw.evictions,
             "service_time_ms": self.service_time_ms,
         }
+        if with_recluster:
+            encoded["recluster"] = self.recluster
+        return encoded
 
 
 @dataclass(frozen=True)
@@ -124,6 +143,14 @@ class SweepResult:
     policies: tuple[str, ...]
     models: tuple[str, ...]
     cells: tuple[SweepCell, ...]
+    #: Recluster axis of the grid; the default axis means the sweep is
+    #: indistinguishable (in output bytes) from a pre-axis sweep.
+    reclusters: tuple[str, ...] = ("none",)
+
+    @property
+    def reclustered(self) -> bool:
+        """Whether the grid carries a non-default recluster axis."""
+        return tuple(self.reclusters) != ("none",)
 
     def cells_for(self, workload: str) -> list[SweepCell]:
         return [cell for cell in self.cells if cell.workload == workload]
@@ -133,21 +160,36 @@ class SweepResult:
 
         Only integer counters are emitted (normalisation is left to the
         consumer), so the representation is exact, not float-formatted.
+        With the default recluster axis the encoding is **byte-identical**
+        to the pre-axis format; a non-default axis additionally emits the
+        axis itself, each cell's ``recluster`` coordinate and a
+        per-workload trace-statistics digest (skew visible next to the
+        counters it explains).
         """
-        payload = {
-            "grid": {
-                "workloads": [spec.describe() for spec in self.workloads],
-                "capacities": list(self.capacities),
-                "policies": list(self.policies),
-                "models": list(self.models),
-                "n_objects": self.config.n_objects,
-                "data_seed": self.config.seed,
-                "service_time_model": {
-                    "positioning_ms": SWEEP_GEOMETRY.positioning_ms,
-                    "transfer_ms_per_page": SWEEP_GEOMETRY.transfer_ms_per_page,
-                },
+        grid: dict[str, object] = {
+            "workloads": [spec.describe() for spec in self.workloads],
+            "capacities": list(self.capacities),
+            "policies": list(self.policies),
+            "models": list(self.models),
+            "n_objects": self.config.n_objects,
+            "data_seed": self.config.seed,
+            "service_time_model": {
+                "positioning_ms": SWEEP_GEOMETRY.positioning_ms,
+                "transfer_ms_per_page": SWEEP_GEOMETRY.transfer_ms_per_page,
             },
-            "cells": [cell.to_dict() for cell in self.cells],
+        }
+        extended = self.reclustered
+        if extended:
+            grid["reclusters"] = list(self.reclusters)
+            grid["workload_stats"] = {
+                spec.name: trace_stats(
+                    compile_trace(spec, self.config.n_objects)
+                ).to_dict()
+                for spec in self.workloads
+            }
+        payload = {
+            "grid": grid,
+            "cells": [cell.to_dict(with_recluster=extended) for cell in self.cells],
         }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
@@ -178,22 +220,27 @@ def _run_cell_in_process(
     capacity: int,
     policy: str,
     model: str,
-    snapshot_path: str | None = None,
+    recluster: str,
+    snapshot_paths: tuple[str, ...] = (),
 ) -> SweepCell:
     """One grid cell, self-contained for a worker process.
 
-    With ``snapshot_path`` the parent has spilled the model's built
-    extension to disk; the worker maps it into its process-wide
-    snapshot store (one file read per worker per model) and the
-    runner's ``build_model`` clones from it — the worker never
-    generates or bulk-loads anything.  Without it (snapshots disabled,
-    or the trace backend) the worker regenerates the deterministic
-    extension once and rebuilds per cell, as before.
+    With ``snapshot_paths`` the parent has spilled the cell's built
+    (and, for a reclustered cell, reorganised) extension to disk; the
+    worker maps the artifacts into its process-wide snapshot store (one
+    file read per worker per artifact) and the runner clones from them
+    — the worker never generates, bulk-loads or retrains anything.
+    Without them (snapshots disabled, or the trace backend) the worker
+    regenerates the deterministic extension once and rebuilds (and
+    retrains) per cell, as before.
     """
-    cell_config = config.with_changes(buffer_pages=capacity, policy=policy, jobs=1)
+    cell_config = config.with_changes(
+        buffer_pages=capacity, policy=policy, jobs=1, recluster=recluster
+    )
     runner = BenchmarkRunner(cell_config)
-    if snapshot_path is not None:
-        DEFAULT_STORE.preload(snapshot_path)
+    if snapshot_paths:
+        for path in snapshot_paths:
+            DEFAULT_STORE.preload(path)
     else:
         key = _data_key(config)
         stations = _WORKER_STATIONS.get(key)
@@ -211,6 +258,7 @@ def _run_cell_in_process(
         policy=policy,
         model=model,
         result=runner.run_trace(model, trace),
+        recluster=recluster,
     )
 
 
@@ -222,6 +270,7 @@ def run_sweep(
     models: Sequence[str] = MEASURED_MODELS,
     jobs: int | None = None,
     processes: int | None = None,
+    reclusters: Sequence[str] = DEFAULT_RECLUSTERS,
 ) -> SweepResult:
     """Run the full grid; every cell gets a fresh engine.
 
@@ -243,6 +292,12 @@ def run_sweep(
     The thread pool stays the default because workers cost a fork and
     one extension generation each — they amortise on grids with many
     cells per worker.
+
+    ``reclusters`` crosses placement policies into the grid: each cell
+    runs under its policy's layout (trained on the cell's own trace,
+    see :meth:`~repro.benchmark.runner.BenchmarkRunner.
+    build_model_for_trace`).  The default axis ``("none",)`` keeps the
+    grid — and its output bytes — exactly as before the axis existed.
     """
     specs = tuple(
         parse_workload(w) if isinstance(w, str) else w for w in workloads
@@ -256,29 +311,86 @@ def run_sweep(
             f"(override with a name=... token)"
         )
     model_names = resolve_models(models)
+    recluster_names = tuple(validate_policy(name) for name in reclusters)
+    if len(set(recluster_names)) != len(recluster_names):
+        raise BenchmarkError(
+            f"recluster policies must be unique, got {list(recluster_names)!r}"
+        )
     grid = [
-        (spec, capacity, policy, model)
+        (spec, capacity, policy, model, recluster)
         for spec in specs
         for capacity in capacities
         for policy in policies
         for model in model_names
+        for recluster in recluster_names
     ]
 
     if processes is not None and processes > 1 and len(grid) > 1:
-        # Build each model's extension once in the parent and spill the
-        # snapshots for the workers; without snapshots every worker
-        # regenerates the extension and rebuilds per cell (the
+        # Build each cell's extension once in the parent — the base
+        # image per model, plus the trained/reorganised image per
+        # (model, policy, workload) — and spill the artifacts for the
+        # workers; without snapshots every worker regenerates the
+        # extension and rebuilds (and retrains) per cell (the
         # pre-snapshot behaviour, still byte-identical output).
         spill_dir: str | None = None
-        spill_paths: dict[str, str] = {}
+        spill_paths: dict[tuple, tuple[str, ...]] = {}
         base = BenchmarkRunner(config)
         if base.snapshots_active:
             spill_dir = tempfile.mkdtemp(prefix="repro-snapshots-")
+            traces = {
+                spec.name: compile_trace(spec, config.n_objects) for spec in specs
+            }
+            artifacts: dict[tuple, str] = {}
+            serial = 0
             for model in model_names:
                 snapshot = DEFAULT_STORE.get(
                     config, model, lambda: base.stations, base.fmt
                 )
-                spill_paths[model] = DEFAULT_STORE.spill(snapshot, spill_dir)
+                artifacts[(model, "none", None)] = DEFAULT_STORE.spill(
+                    snapshot, spill_dir, stem=f"artifact-{serial}"
+                )
+                serial += 1
+            # Reclustered variants (one training replay + rewrite per
+            # (model, policy, workload)) build concurrently: the store
+            # serialises per key, distinct keys overlap, and the base
+            # images above are already cached.  Spilling stays in job
+            # order so artifact names are deterministic.
+            recluster_jobs = [
+                (model, recluster, spec)
+                for model in model_names
+                for recluster in recluster_names
+                if recluster != "none"
+                for spec in specs
+            ]
+            if recluster_jobs:
+                def build_reclustered(job):
+                    model, recluster, spec = job
+                    return DEFAULT_STORE.get_reclustered(
+                        config,
+                        model,
+                        lambda: base.stations,
+                        base.fmt,
+                        traces[spec.name],
+                        recluster,
+                    )
+
+                workers = min(processes, len(recluster_jobs))
+                with ThreadPoolExecutor(max_workers=workers) as build_pool:
+                    built = list(build_pool.map(build_reclustered, recluster_jobs))
+                for (model, recluster, spec), reclustered in zip(
+                    recluster_jobs, built
+                ):
+                    artifacts[(model, recluster, spec.name)] = DEFAULT_STORE.spill(
+                        reclustered, spill_dir, stem=f"artifact-{serial}"
+                    )
+                    serial += 1
+            for spec, capacity, policy, model, recluster in grid:
+                key = (
+                    (model, "none", None)
+                    if recluster == "none"
+                    else (model, recluster, spec.name)
+                )
+                spill_paths[(spec.name, model, recluster)] = (artifacts[key],)
         try:
             with ProcessPoolExecutor(max_workers=min(processes, len(grid))) as pool:
                 futures = [
@@ -286,7 +398,7 @@ def run_sweep(
                         _run_cell_in_process,
                         config,
                         *point,
-                        spill_paths.get(point[3]),
+                        spill_paths.get((point[0].name, point[3], point[4]), ()),
                     )
                     for point in grid
                 ]
@@ -301,6 +413,7 @@ def run_sweep(
             policies=tuple(policies),
             models=model_names,
             cells=cells,
+            reclusters=recluster_names,
         )
 
     # Generate the extension and compile each spec's trace once; every
@@ -308,8 +421,12 @@ def run_sweep(
     stations = BenchmarkRunner(config).stations
     traces = {spec.name: compile_trace(spec, config.n_objects) for spec in specs}
 
-    def run_cell(spec: WorkloadSpec, capacity: int, policy: str, model: str) -> SweepCell:
-        cell_config = config.with_changes(buffer_pages=capacity, policy=policy)
+    def run_cell(
+        spec: WorkloadSpec, capacity: int, policy: str, model: str, recluster: str
+    ) -> SweepCell:
+        cell_config = config.with_changes(
+            buffer_pages=capacity, policy=policy, recluster=recluster
+        )
         runner = BenchmarkRunner(cell_config)
         runner.adopt_extension(stations)
         return SweepCell(
@@ -318,6 +435,7 @@ def run_sweep(
             policy=policy,
             model=model,
             result=runner.run_trace(model, traces[spec.name]),
+            recluster=recluster,
         )
 
     if jobs is None:
@@ -335,36 +453,38 @@ def run_sweep(
         policies=tuple(policies),
         models=model_names,
         cells=cells,
+        reclusters=recluster_names,
     )
 
 
 def render_result(result: SweepResult) -> str:
     """Aligned-text report: one table per workload, grid order rows."""
     out = []
+    with_recluster = result.reclustered
+    headers = ["model", "policy", "buffer"]
+    if with_recluster:
+        headers.append("recluster")
+    headers += ["calls/op", "pages/op", "hit rate", "evict/op", "svc ms/op"]
     for spec in result.workloads:
-        rows = [cell.row() for cell in result.cells_for(spec.name)]
-        out.append(
-            render_table(
-                f"Sweep — {spec.describe()}",
-                [
-                    "model",
-                    "policy",
-                    "buffer",
-                    "calls/op",
-                    "pages/op",
-                    "hit rate",
-                    "evict/op",
-                    "svc ms/op",
-                ],
-                rows,
-                note=(
-                    "Identical compiled trace per cell; calls/pages per "
-                    "operation, hit rate = buffer hits / page fixes, svc "
-                    "ms/op = Equation-1 service-time estimate on the "
-                    f"reference disk ({SWEEP_GEOMETRY.positioning_ms:g} ms/call "
-                    f"+ {SWEEP_GEOMETRY.transfer_ms_per_page:g} ms/page)."
-                ),
+        rows = [
+            cell.row(with_recluster=with_recluster)
+            for cell in result.cells_for(spec.name)
+        ]
+        note = (
+            "Identical compiled trace per cell; calls/pages per "
+            "operation, hit rate = buffer hits / page fixes, svc "
+            "ms/op = Equation-1 service-time estimate on the "
+            f"reference disk ({SWEEP_GEOMETRY.positioning_ms:g} ms/call "
+            f"+ {SWEEP_GEOMETRY.transfer_ms_per_page:g} ms/page)."
+        )
+        if with_recluster:
+            note += (
+                "  Reclustered cells train on the cell's own trace "
+                "(unmeasured), rewrite the shared pages, then replay "
+                "measured."
             )
+        out.append(
+            render_table(f"Sweep — {spec.describe()}", headers, rows, note=note)
         )
     return "\n".join(out)
 
@@ -377,10 +497,17 @@ def render(
     models: Sequence[str] = MEASURED_MODELS,
     json_path: str | None = None,
     processes: int | None = None,
+    reclusters: Sequence[str] = DEFAULT_RECLUSTERS,
 ) -> str:
     """CLI entry point: run the grid, optionally dump JSON, render text."""
     result = run_sweep(
-        config, workloads, capacities, policies, models, processes=processes
+        config,
+        workloads,
+        capacities,
+        policies,
+        models,
+        processes=processes,
+        reclusters=reclusters,
     )
     if json_path:
         with open(json_path, "w", encoding="utf-8") as handle:

@@ -26,7 +26,7 @@ from abc import ABC, abstractmethod
 from typing import Any, Mapping, Sequence
 
 from repro.benchmark.schema import key_of_oid
-from repro.errors import UnsupportedOperationError
+from repro.errors import ModelError, UnsupportedOperationError
 from repro.nf2.serializer import DASDBS_FORMAT, NF2Serializer, StorageFormat
 from repro.nf2.values import NestedTuple
 from repro.storage import StorageEngine
@@ -59,6 +59,16 @@ class StorageModel(ABC):
     def ref_of(self, oid: int) -> Ref:
         """Translate an OID into this model's reference type."""
         return oid
+
+    def oid_of(self, ref: Ref) -> int:
+        """Translate one of this model's references back into an OID.
+
+        The inverse of :meth:`ref_of`; the clustering statistics
+        collector uses it to attribute navigation steps (which the
+        models report as refs) to objects.  Like the address tables it
+        is pure bookkeeping — no I/O is charged.
+        """
+        return ref
 
     def all_refs(self) -> list[Ref]:
         """References of every object, in OID order."""
@@ -102,6 +112,40 @@ class StorageModel(ABC):
         each model implements its own update protocol (replace whole
         tuple vs. ``change attribute``, Section 5.3).
         """
+
+    # -- reorganisation ------------------------------------------------------------
+
+    def recluster(self, order: Sequence[int]) -> dict:
+        """Rewrite the model's shared-page segments into object ``order``.
+
+        ``order`` is a permutation of all OIDs (deleted objects are
+        listed too and simply contribute no records).  Records of the
+        same object keep their relative order; records of adjacent
+        objects in ``order`` become physically adjacent — the layout
+        the placement policies compute from workload statistics.  Every
+        model keeps its address structures valid by remapping them
+        through the heap forwarding maps, so all references survive the
+        move; the returned dict exposes those per-segment forwarding
+        maps for tests and tooling.
+
+        Only shared slotted pages move: long objects own their pages
+        privately (no co-residency to improve) and stay in place.  The
+        rewrite is deterministic, so snapshot stores can cache the
+        reclustered image and clones stay bit-identical to an in-place
+        reorganisation.
+        """
+        raise self._not_supported("reclustering")
+
+    def _validate_order(self, order: Sequence[int]) -> None:
+        # Deferred import: the clustering package's driver replays
+        # workload traces, which import this module.
+        from repro.clustering.placement import is_permutation
+
+        if not is_permutation(order, self.n_objects):
+            raise ModelError(
+                f"recluster order must be a permutation of the {self.n_objects} "
+                f"OIDs of {self.name} (got {len(order)} entries)"
+            )
 
     # -- snapshot state ------------------------------------------------------------
 

@@ -302,6 +302,47 @@ class DASDBSNSMModel(StorageModel):
     def all_refs(self) -> list[Ref]:
         return [oid for oid, entry in enumerate(self._table) if entry is not None]
 
+    # -- reorganisation -------------------------------------------------------------------
+
+    def recluster(self, order: Sequence[int]) -> dict:
+        """Rewrite each relation's shared pages into object ``order``.
+
+        Per store, the heap-resident tuples are re-packed in the order
+        their owning objects appear in ``order`` (objects whose tuple
+        went to the long store contribute nothing — those pages are
+        private).  The transformation table is remapped through the
+        forwarding maps, so every address keeps resolving and a
+        subsequent :meth:`capture_state` snapshots the reorganised
+        layout.
+        """
+        self._validate_order(order)
+        stores = self._stores()
+        store_names = ("stations", "platforms", "connections", "sightseeings")
+        forwardings: dict[str, dict] = {}
+        for index, name in enumerate(store_names):
+            rid_order = [
+                self._table[oid][index][1]
+                for oid in order
+                if self._table[oid] is not None
+                and self._table[oid][index][0] == "heap"
+            ]
+            forwardings[name] = stores[name].recluster(rid_order)
+        remapped = []
+        for entry in self._table:
+            if entry is None:
+                remapped.append(None)
+                continue
+            remapped.append(
+                tuple(
+                    ("heap", forwardings[name].get(address, address))
+                    if kind == "heap"
+                    else (kind, address)
+                    for name, (kind, address) in zip(store_names, entry)
+                )
+            )
+        self._table = remapped
+        return forwardings
+
     # -- snapshot state -------------------------------------------------------------------
 
     def _stores(self) -> dict[str, MixedTupleStore]:

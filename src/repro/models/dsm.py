@@ -82,6 +82,32 @@ class DirectModelBase(StorageModel):
         self.n_objects = len(self._handles)
         return self.n_objects - 1
 
+    # -- reorganisation -------------------------------------------------------
+
+    def recluster(self, order: Sequence[int]) -> dict:
+        """Re-pack the small-object heap into object ``order``.
+
+        Only objects that fit on shared slotted pages move; large
+        objects own their header/data pages privately (per Section 4,
+        "the pages that store the tuple will not be shared by other
+        tuples"), so there is no co-residency to improve and they stay
+        in place.  The handle table is remapped through the heap's
+        forwarding map.
+        """
+        self._validate_order(order)
+        rid_order = [
+            self._handles[oid][1] for oid in order if self._handles[oid][0] == "heap"
+        ]
+        forwarding = self.heap.recluster(rid_order)
+        if forwarding:
+            self._handles = [
+                ("heap", forwarding.get(handle, handle))
+                if kind == "heap"
+                else (kind, handle)
+                for kind, handle in self._handles
+            ]
+        return {"heap": forwarding}
+
     # -- snapshot state -------------------------------------------------------
 
     def capture_state(self) -> dict:

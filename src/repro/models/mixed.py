@@ -118,6 +118,28 @@ class MixedTupleStore:
                 (blob,) = self.long_store.read(address)
                 yield self.serializer.decode_nested(self.schema, blob)
 
+    # -- reorganisation -----------------------------------------------------------
+
+    def recluster(self, rid_order: list[Rid]) -> dict[Rid, Rid]:
+        """Rewrite the heap half into ``rid_order``; long tuples stay.
+
+        Long tuples own their header/data pages privately — there is no
+        co-residency for a placement policy to improve — so only the
+        shared slotted pages move.  The handle table is remapped through
+        the heap's forwarding map and the map is returned so callers
+        holding handles (the DASDBS-NSM transformation table) can do
+        the same.
+        """
+        forwarding = self.heap.recluster(rid_order)
+        if forwarding:
+            self._handles = [
+                ("heap", forwarding.get(address, address))
+                if kind == "heap"
+                else (kind, address)
+                for kind, address in self._handles
+            ]
+        return forwarding
+
     # -- snapshot state -----------------------------------------------------------
 
     def capture_state(self) -> dict:

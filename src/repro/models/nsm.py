@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.benchmark.schema import STATION_SCHEMA, key_of_oid
+from repro.benchmark.schema import STATION_SCHEMA, key_of_oid, oid_of_key
 from repro.errors import InvalidAddressError, ModelError
 from repro.models.base import Ref, StorageModel
 from repro.nf2.oid import Rid
@@ -94,6 +94,9 @@ class NSMModel(StorageModel):
 
     def ref_of(self, oid: int) -> Ref:
         return key_of_oid(oid)
+
+    def oid_of(self, ref: Ref) -> int:
+        return oid_of_key(ref)
 
     # -- loading -----------------------------------------------------------------
 
@@ -292,6 +295,69 @@ class NSMModel(StorageModel):
             if key not in self._deleted_keys
         ]
 
+    # -- reorganisation ----------------------------------------------------------------
+
+    _HEAP_KEY_ATTRS = (
+        ("stations", "Key"),
+        ("platforms", "RootKey"),
+        ("connections", "RootKey"),
+        ("sightseeings", "RootKey"),
+    )
+
+    def _heap_schemas(self) -> dict[str, RelationSchema]:
+        return {
+            "stations": NSM_STATION,
+            "platforms": NSM_PLATFORM,
+            "connections": NSM_CONNECTION,
+            "sightseeings": NSM_SIGHTSEEING,
+        }
+
+    def recluster(self, order: Sequence[int]) -> dict:
+        """Rewrite the four flat relations into object ``order``.
+
+        Plain NSM keeps no record addresses, so the tuples' owning
+        objects are recovered from their stored key attributes (a full
+        scan per relation — the reorganisation pass NSM would pay in
+        reality, unmeasured here like all reorganisation cost).  Note
+        that plain NSM's *measured* I/O is placement-invariant: every
+        access is a value selection implemented as a relation scan, and
+        a scan reads all pages whatever their order.  The operator
+        still applies — it keeps the model interchangeable on the
+        ``--recluster`` axis and feeds the indexed subclass, where
+        placement very much matters.
+        """
+        self._validate_order(order)
+        heaps = self._heaps()
+        schemas = self._heap_schemas()
+        forwardings: dict[str, dict[Rid, Rid]] = {}
+        for name, key_attr in self._HEAP_KEY_ATTRS:
+            forwardings[name] = self._recluster_heap(
+                heaps[name], schemas[name], key_attr, order
+            )
+        return forwardings
+
+    def _recluster_heap(
+        self,
+        heap: HeapFile,
+        schema: RelationSchema,
+        key_attr: str,
+        order: Sequence[int],
+    ) -> dict[Rid, Rid]:
+        groups: dict[int, list[Rid]] = {}
+        tail: list[Rid] = []
+        for rid, blob in heap.scan():
+            oid = oid_of_key(self.serializer.decode_atom(schema, blob, key_attr))
+            if 0 <= oid < self.n_objects:
+                groups.setdefault(oid, []).append(rid)
+            else:
+                # Records of objects outside the OID range (keys chosen
+                # freely through insert_object) sink to the tail rather
+                # than failing the whole reorganisation.
+                tail.append(rid)
+        rid_order = [rid for oid in order for rid in groups.get(oid, ())]
+        rid_order.extend(tail)
+        return heap.recluster(rid_order)
+
     # -- snapshot state ----------------------------------------------------------------
 
     def capture_state(self) -> dict:
@@ -434,6 +500,26 @@ class NSMIndexModel(NSMModel):
                 continue
             row = self.serializer.decode_flat(NSM_STATION, self.stations.read(rid))
             self.stations.update(rid, self.serializer.encode_flat(row.replace_atoms(**changes)))
+
+    # -- reorganisation -----------------------------------------------------------
+
+    def recluster(self, order: Sequence[int]) -> dict:
+        """Reorganise the relations, then remap the index through the
+        forwarding maps — every indexed address keeps resolving."""
+        forwardings = super().recluster(order)
+        stations = forwardings["stations"]
+        self._station_rid = {
+            key: stations.get(rid, rid) for key, rid in self._station_rid.items()
+        }
+        for name, table in (
+            ("platforms", self._platform_rids),
+            ("connections", self._connection_rids),
+            ("sightseeings", self._sightseeing_rids),
+        ):
+            forwarding = forwardings[name]
+            for key, rids in table.items():
+                table[key] = [forwarding.get(rid, rid) for rid in rids]
+        return forwardings
 
     # -- snapshot state ----------------------------------------------------------
 

@@ -430,6 +430,13 @@ class BufferManager:
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.policy.bind_capacity(capacity)
         self._frames: dict[int, _Frame] = {}
+        #: Optional observation hook: a callable invoked with the page
+        #: id of **every** fix (hits, misses, batched fixes and fresh
+        #: pages alike).  The clustering statistics collector attaches
+        #: here to see the physical-layout side of a workload replay;
+        #: the hook must only observe — it runs inside the fix paths
+        #: and never affects metrics or replacement state.
+        self.fix_listener = None
         # Bound-method caches for the hit fast path (the policy is fixed
         # for the manager's lifetime; re-resolving two attribute chains
         # per page fix is measurable at sweep scale).
@@ -462,6 +469,8 @@ class BufferManager:
             metrics.page_fixes += 1
             metrics.buffer_hits += 1
             frame.fix_count += 1
+            if self.fix_listener is not None:
+                self.fix_listener(page_id)
             return frame.data
         if len(self._frames) >= self.capacity:
             self._make_room(1)
@@ -471,6 +480,8 @@ class BufferManager:
         self.policy.on_insert(page_id)
         self.metrics.record_fix(hit=False)
         frame.fix_count += 1
+        if self.fix_listener is not None:
+            self.fix_listener(page_id)
         return frame.data
 
     def fix_many(self, page_ids: Sequence[int]) -> dict[int, bytearray]:
@@ -502,6 +513,7 @@ class BufferManager:
         frames = self._frames
         on_access = self._on_access
         metrics = self.metrics
+        listener = self.fix_listener
         for pid in page_ids:
             frame = frames[pid]
             if pid in missing_set:
@@ -512,6 +524,8 @@ class BufferManager:
                 metrics.page_fixes += 1
                 metrics.buffer_hits += 1
             frame.fix_count += 1
+            if listener is not None:
+                listener(pid)
             out[pid] = frame.data
         return out
 
@@ -530,6 +544,8 @@ class BufferManager:
         self._frames[page_id] = frame
         self.policy.on_insert(page_id)
         self.metrics.record_fix(hit=False)
+        if self.fix_listener is not None:
+            self.fix_listener(page_id)
         return frame.data
 
     def page_data(self, page_id: int) -> bytearray:

@@ -81,6 +81,54 @@ class HeapFile:
         finally:
             self.buffer.unfix(rid.page_id, dirty=True)
 
+    # -- reorganisation ---------------------------------------------------------
+
+    def recluster(self, rid_order: list[Rid]) -> dict[Rid, Rid]:
+        """Rewrite the heap so records appear in ``rid_order``.
+
+        The trace-driven clustering operator: the records are re-packed
+        back to back into freshly allocated pages in exactly the given
+        order (adjacent entries share pages, the property the placement
+        policies exploit), and the old pages are freed.  Record ids are
+        preserved logically via the returned **forwarding map**
+        ``{old_rid: new_rid}`` — callers that hold rids (model address
+        tables, indexes) remap through it.
+
+        ``rid_order`` must be a permutation of the live records; a
+        partial or duplicated order would silently drop or clone data,
+        so it is rejected.  The rewrite goes through the ordinary
+        buffer paths (reads charge fixes, new pages start dirty), so it
+        must run outside measured intervals — which the workload
+        executor's cold-start-and-reset discipline guarantees.
+        """
+        records = {rid: blob for rid, blob in self.scan()}
+        if len(rid_order) != len(records) or set(rid_order) != set(records):
+            raise StorageError(
+                f"recluster order must be a permutation of the live records "
+                f"of segment {self.segment.name!r} "
+                f"({len(rid_order)} given, {len(records)} live)"
+            )
+        old_pages = self.segment.page_ids
+        forwarding: dict[Rid, Rid] = {}
+        page_id: int | None = None
+        for old_rid in rid_order:
+            record = records[old_rid]
+            slot = -1
+            if page_id is not None:
+                try:
+                    slot = self.buffer.view_of(page_id).insert(record)
+                except PageOverflowError:
+                    self.buffer.unfix(page_id, dirty=True)
+                    page_id = None
+            if page_id is None:
+                page_id = self.segment.allocate_page()
+                slot = self.buffer.view_of(page_id).insert(record)
+            forwarding[old_rid] = Rid(page_id, slot)
+        if page_id is not None:
+            self.buffer.unfix(page_id, dirty=True)
+        self.segment.release_pages(old_pages)
+        return forwarding
+
     # -- reading -----------------------------------------------------------------
 
     def read(self, rid: Rid) -> bytes:

@@ -151,7 +151,12 @@ class SlottedPage:
     def insert(self, record: bytes) -> int:
         """Insert a record and return its slot number."""
         length = len(record)
-        if length > self.free_space:
+        # The record needs `length` bytes at the front *and* a 4-byte
+        # directory entry at the back; checking the gap directly (not
+        # via free_space, which floors at 0) keeps a zero-length record
+        # from sneaking its entry over the record area of a full page.
+        gap = self.page_size - self._n_slots * SLOT_ENTRY_SIZE - self._free
+        if length + SLOT_ENTRY_SIZE > gap:
             raise PageOverflowError(
                 f"record of {length} bytes does not fit ({self.free_space} free)"
             )
@@ -209,10 +214,25 @@ class SlottedPage:
             self.data[offset : offset + len(record)] = record
             self._set_slot(slot, offset, len(record))
             return
-        # Need to relocate: tombstone the old copy, then append.
-        if len(record) > self.free_space + SLOT_ENTRY_SIZE:
+        # Need to relocate: tombstone the old copy, then append.  The
+        # grown record reuses its existing slot entry, so the whole
+        # front-to-back gap is available (computed directly — the
+        # floored free_space under-reports it on a nearly full page).
+        def _gap() -> int:
+            return self.page_size - self._n_slots * SLOT_ENTRY_SIZE - self._free
+
+        if len(record) > _gap():
+            old = bytes(self.data[offset : offset + length])
             self.compact(skip_slot=slot)
-            if len(record) > self.free_space + SLOT_ENTRY_SIZE:
+            if len(record) > _gap():
+                # Failed updates are atomic: the compaction above
+                # dropped the old copy (it was excluded so its space
+                # would count as free), so put it back — it fit before,
+                # and compaction only grew the contiguous gap.
+                free_start = self._free
+                self.data[free_start : free_start + length] = old
+                self._set_header(self._n_slots, free_start + length)
+                self._set_slot(slot, free_start, length)
                 raise PageOverflowError(
                     f"updated record of {len(record)} bytes does not fit in page"
                 )

@@ -1,0 +1,102 @@
+"""Unit coverage for the placement policies (affinity / hotcold)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.placement import (
+    RECLUSTER_POLICIES,
+    affinity_order,
+    hotcold_order,
+    is_permutation,
+    placement_order,
+    validate_policy,
+)
+from repro.clustering.stats import AccessStats
+from repro.errors import BenchmarkError
+
+
+def _stats(n: int, ops: list[list[int]]) -> AccessStats:
+    stats = AccessStats(n)
+    for oids in ops:
+        stats.record_operation(oids)
+    return stats
+
+
+class TestValidation:
+    def test_known_policies(self):
+        assert RECLUSTER_POLICIES == ("none", "affinity", "hotcold")
+        for name in RECLUSTER_POLICIES:
+            assert validate_policy(name) == name
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(BenchmarkError):
+            validate_policy("dstc")
+
+    def test_placement_order_rejects_unknown(self):
+        with pytest.raises(BenchmarkError):
+            placement_order("dstc", AccessStats(3))
+
+
+class TestHotcold:
+    def test_orders_by_descending_heat(self):
+        stats = _stats(4, [[2], [2], [0]])
+        assert hotcold_order(stats) == [2, 0, 1, 3]
+
+    def test_ties_break_by_oid(self):
+        stats = _stats(4, [[3], [1]])
+        assert hotcold_order(stats) == [1, 3, 0, 2]
+
+    def test_cold_tail_keeps_insertion_order(self):
+        stats = _stats(5, [[4]])
+        assert hotcold_order(stats) == [4, 0, 1, 2, 3]
+
+
+class TestAffinity:
+    def test_chains_follow_strongest_affinity(self):
+        # 0 is hottest; 0-3 co-accessed twice, 0-1 once; 3-2 once.
+        stats = _stats(5, [[0, 3], [0, 3], [0, 1], [3, 2], [0]])
+        assert affinity_order(stats) == [0, 3, 2, 1, 4]
+
+    def test_untouched_objects_follow_in_oid_order(self):
+        stats = _stats(6, [[4, 2]])
+        order = affinity_order(stats)
+        assert order[:2] == [2, 4]  # heat ties break by oid; chain follows
+        assert order[2:] == [0, 1, 3, 5]
+
+    def test_no_statistics_is_identity(self):
+        stats = AccessStats(4)
+        assert affinity_order(stats) == [0, 1, 2, 3]
+
+    def test_chain_restarts_from_heat_order(self):
+        # Two disjoint cliques; the hotter clique is laid out first.
+        stats = _stats(6, [[1, 5], [1, 5], [1, 5], [0, 2], [0, 2]])
+        order = affinity_order(stats)
+        assert order[:2] == [1, 5]
+        assert order[2:4] == [0, 2]
+
+
+class TestPermutationProperty:
+    @pytest.mark.parametrize("policy", RECLUSTER_POLICIES)
+    def test_every_policy_yields_a_permutation(self, policy):
+        stats = _stats(
+            30,
+            [[i % 30, (i * 7) % 30, (i * 13) % 30] for i in range(100)],
+        )
+        order = placement_order(policy, stats)
+        assert is_permutation(order, 30)
+
+    def test_none_is_identity(self):
+        stats = _stats(5, [[3], [3], [1, 2]])
+        assert placement_order("none", stats) == [0, 1, 2, 3, 4]
+
+    def test_is_permutation_rejects_short_and_duplicated(self):
+        assert not is_permutation([0, 1], 3)
+        assert not is_permutation([0, 1, 1], 3)
+        assert is_permutation([2, 0, 1], 3)
+
+    def test_determinism(self):
+        ops = [[i % 11, (i * 3) % 11] for i in range(50)]
+        first = placement_order("affinity", _stats(11, ops))
+        second = placement_order("affinity", _stats(11, ops))
+        assert first == second

@@ -1,0 +1,249 @@
+"""The recluster operators: heap rewrite, forwarding maps, model remaps.
+
+Three layers are covered:
+
+* :meth:`HeapFile.recluster` — the storage-level rewrite (ordering,
+  forwarding, page recycling, permutation validation);
+* :meth:`StorageModel.recluster` on all five models — data equivalence
+  under every read path after an arbitrary permutation;
+* the physical point: on an access-path model, a trained placement
+  reduces measured page reads versus insertion order.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.benchmark.workload import WorkloadExecutor, WorkloadSpec, compile_trace
+from repro.clustering.placement import placement_order
+from repro.clustering.recluster import collect_stats, recluster_model
+from repro.errors import BenchmarkError, ModelError, StorageError
+from repro.storage import StorageEngine
+from tests.conftest import build_loaded_model
+
+
+@pytest.fixture
+def heap():
+    engine = StorageEngine(buffer_pages=16)
+    return engine.new_heap("fuzzheap")
+
+
+class TestHeapRecluster:
+    def test_records_follow_the_given_order(self, heap):
+        rids = [heap.insert(bytes([i]) * (20 + i)) for i in range(10)]
+        reversed_order = list(reversed(rids))
+        forwarding = heap.recluster(reversed_order)
+        stored = [bytes(record) for _, record in heap.scan()]
+        assert stored == [bytes([9 - i]) * (29 - i) for i in range(10)]
+        # Forwarding covers every record and preserves identity of content.
+        assert set(forwarding) == set(rids)
+        for old, new in forwarding.items():
+            assert heap.read(new) == bytes([old.slot]) * (20 + old.slot)
+
+    def test_old_pages_are_freed(self, heap):
+        for i in range(50):
+            heap.insert(b"x" * 300)
+        old_pages = set(heap.segment.page_ids)
+        order = [rid for rid, _ in heap.scan()]
+        heap.recluster(order)
+        assert not old_pages & set(heap.segment.page_ids)
+        for page_id in old_pages:
+            assert not heap.segment.disk.is_allocated(page_id)
+
+    def test_identity_order_preserves_record_count_and_bytes(self, heap):
+        rng = random.Random(5)
+        for _ in range(40):
+            heap.insert(rng.randbytes(rng.randint(1, 200)))
+        before = [record for _, record in heap.scan()]
+        heap.recluster([rid for rid, _ in heap.scan()])
+        after = [record for _, record in heap.scan()]
+        assert before == after
+
+    def test_rejects_partial_order(self, heap):
+        rids = [heap.insert(b"r%d" % i) for i in range(5)]
+        with pytest.raises(StorageError):
+            heap.recluster(rids[:-1])
+
+    def test_rejects_duplicates(self, heap):
+        rids = [heap.insert(b"r%d" % i) for i in range(5)]
+        with pytest.raises(StorageError):
+            heap.recluster(rids[:-1] + [rids[0]])
+
+    def test_empty_heap_is_a_no_op(self, heap):
+        assert heap.recluster([]) == {}
+        assert heap.n_pages == 0
+
+    def test_deleted_records_do_not_survive(self, heap):
+        rids = [heap.insert(b"keep-%d" % i) for i in range(6)]
+        heap.delete(rids[2])
+        live = [rid for rid in rids if rid != rids[2]]
+        forwarding = heap.recluster(live)
+        assert rids[2] not in forwarding
+        assert heap.count_records() == 5
+
+
+class TestModelRecluster:
+    def test_arbitrary_permutation_keeps_every_read_path(
+        self, any_model_name, small_stations
+    ):
+        model = build_loaded_model(any_model_name, small_stations)
+        n = model.n_objects
+        rng = random.Random(71)
+        order = list(range(n))
+        rng.shuffle(order)
+
+        refs = model.all_refs()
+        if model.supports_oid_access:
+            before_full = [model.fetch_full(ref) for ref in refs[:8]]
+        before_roots = model.fetch_roots(refs[:8])
+        before_refs = model.fetch_refs(refs[:8])
+        before_scan = model.scan_all()
+
+        model.recluster(order)
+
+        if model.supports_oid_access:
+            assert [model.fetch_full(ref) for ref in refs[:8]] == before_full
+        # Plain NSM's set-oriented results come back in *storage order*
+        # (documented), which reclustering legitimately changes — the
+        # contents must survive, the order need not.
+        by_key = lambda root: root["Key"]  # noqa: E731
+        assert sorted(model.fetch_roots(refs[:8]), key=by_key) == sorted(
+            before_roots, key=by_key
+        )
+        assert sorted(model.fetch_refs(refs[:8])) == sorted(before_refs)
+        assert model.scan_all() == before_scan
+
+    def test_key_lookup_survives(self, any_model_name, small_stations):
+        model = build_loaded_model(any_model_name, small_stations)
+        key = model.key_of(3)
+        before = model.fetch_full_by_key(key)
+        model.recluster(list(reversed(range(model.n_objects))))
+        assert model.fetch_full_by_key(key) == before
+
+    def test_updates_keep_working_after_recluster(
+        self, any_model_name, small_stations
+    ):
+        model = build_loaded_model(any_model_name, small_stations)
+        model.recluster(list(reversed(range(model.n_objects))))
+        refs = model.all_refs()
+        model.update_roots(refs[:4], {"Name": "after-recluster"})
+        roots = model.fetch_roots(refs[:4])
+        assert all(root["Name"] == "after-recluster" for root in roots)
+
+    def test_recluster_after_delete(self, any_model_name, small_stations):
+        model = build_loaded_model(any_model_name, small_stations)
+        refs = model.all_refs()
+        model.delete_object(refs[5])
+        order = list(reversed(range(model.n_objects)))
+        model.recluster(order)
+        assert len(model.all_refs()) == len(refs) - 1
+
+    def test_rejects_non_permutations(self, any_model_name, small_stations):
+        model = build_loaded_model(any_model_name, small_stations)
+        with pytest.raises(ModelError):
+            model.recluster([0, 1])
+        with pytest.raises(ModelError):
+            model.recluster([0] * model.n_objects)
+
+    def test_trace_smaller_than_model_reclusters_every_object(
+        self, small_stations
+    ):
+        """A trace may target only a prefix of the extension, but its
+        navigation steps reach arbitrary OIDs and the derived placement
+        must still order the whole model (regression: the collector was
+        sized by the trace and indexed out of bounds)."""
+        model = build_loaded_model("NSM+index", small_stations)
+        spec = WorkloadSpec(
+            name="partial", navigate_weight=0.6, n_ops=40, seed=5
+        )
+        trace = compile_trace(spec, len(small_stations) // 2)
+        stats = recluster_model(model, trace, "affinity")
+        assert len(stats.heat) == model.n_objects
+        assert model.scan_all() == len(small_stations)
+
+    def test_recluster_model_rejects_none(self, small_stations):
+        model = build_loaded_model("NSM+index", small_stations)
+        trace = compile_trace(WorkloadSpec(n_ops=5, seed=5), len(small_stations))
+        with pytest.raises(BenchmarkError):
+            recluster_model(model, trace, "none")
+
+    def test_snapshot_round_trip_after_recluster(self, small_stations):
+        """capture/restore carries the reorganised layout faithfully."""
+        from repro.models.registry import create_model
+
+        model = build_loaded_model("DASDBS-NSM", small_stations)
+        model.recluster(list(reversed(range(model.n_objects))))
+        disk_image = model.engine.snapshot()
+        state = model.capture_state()
+
+        engine = StorageEngine(buffer_pages=400)
+        engine.disk.restore(disk_image)
+        clone = create_model("DASDBS-NSM", engine)
+        clone.restore_state(state)
+        refs = clone.all_refs()
+        assert [clone.fetch_full(ref) for ref in refs[:5]] == [
+            model.fetch_full(ref) for ref in refs[:5]
+        ]
+
+
+class TestPhysicalEffect:
+    @pytest.fixture(scope="class")
+    def pressured_stations(self):
+        """An extension big enough that a 16-page buffer truly thrashes
+        (the 60-object fixture nearly fits, which drowns the signal)."""
+        from repro.benchmark.config import BenchmarkConfig
+        from repro.benchmark.generator import generate_stations
+
+        return generate_stations(BenchmarkConfig(n_objects=120, seed=7))
+
+    def test_affinity_reduces_page_reads_under_pressure(self, pressured_stations):
+        """The acceptance property at test scale: a trained affinity
+        layout reads measurably (>5%) fewer pages than insertion order
+        on the NSM-family index model and on DASDBS-NSM."""
+        spec = WorkloadSpec(
+            name="nav",
+            point_weight=0.3,
+            navigate_weight=0.55,
+            scan_weight=0.0,
+            update_weight=0.15,
+            skew="zipf",
+            zipf_theta=1.2,
+            n_ops=300,
+            seed=3,
+        )
+        trace = compile_trace(spec, len(pressured_stations))
+        for model_name in ("NSM+index", "DASDBS-NSM"):
+            baseline_model = build_loaded_model(
+                model_name, pressured_stations, buffer_pages=16
+            )
+            baseline = WorkloadExecutor(baseline_model, trace).run()
+
+            clustered_model = build_loaded_model(
+                model_name, pressured_stations, buffer_pages=16
+            )
+            recluster_model(clustered_model, trace, "affinity")
+            clustered = WorkloadExecutor(clustered_model, trace).run()
+
+            assert clustered.raw.pages_read < 0.95 * baseline.raw.pages_read, (
+                f"{model_name}: {baseline.raw.pages_read} -> "
+                f"{clustered.raw.pages_read}"
+            )
+
+    def test_plain_nsm_is_placement_invariant(self, small_stations):
+        """Plain NSM's accesses are relation scans: reclustering may
+        change packing by a page or two but the scan-driven read count
+        stays put — the documented physics."""
+        spec = WorkloadSpec(name="points", n_ops=40, seed=3)
+        trace = compile_trace(spec, len(small_stations))
+        baseline_model = build_loaded_model("NSM", small_stations, buffer_pages=16)
+        baseline = WorkloadExecutor(baseline_model, trace).run()
+
+        clustered_model = build_loaded_model("NSM", small_stations, buffer_pages=16)
+        stats = collect_stats(clustered_model, trace)
+        clustered_model.recluster(placement_order("hotcold", stats))
+        clustered = WorkloadExecutor(clustered_model, trace).run()
+
+        drift = abs(clustered.raw.pages_read - baseline.raw.pages_read)
+        assert drift <= 0.02 * baseline.raw.pages_read

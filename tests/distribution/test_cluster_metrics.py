@@ -1,0 +1,131 @@
+"""Direct unit coverage for the shared-nothing placement metrics.
+
+:mod:`repro.distribution.cluster`'s metrics were previously exercised
+only through the integration suite (full simulated replays); these
+tests pin their arithmetic on hand-computed inputs, so a regression in
+one formula fails here with the formula's name on it.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+
+import pytest
+
+from repro.distribution.cluster import ClusterLoad, NodePlacement, _cv
+from repro.errors import BenchmarkError
+
+
+class TestNodePlacement:
+    def test_round_robin_cycles_over_nodes(self):
+        placement = NodePlacement.round_robin(7, 3)
+        assert placement.n_nodes == 3
+        assert placement.node_of == (0, 1, 2, 0, 1, 2, 0)
+
+    def test_round_robin_fewer_objects_than_nodes(self):
+        placement = NodePlacement.round_robin(2, 5)
+        assert placement.node_of == (0, 1)
+
+    def test_round_robin_rejects_empty_cluster(self):
+        with pytest.raises(BenchmarkError):
+            NodePlacement.round_robin(10, 0)
+
+    def test_hashed_is_seed_deterministic(self):
+        first = NodePlacement.hashed(50, 4, seed=11)
+        second = NodePlacement.hashed(50, 4, seed=11)
+        assert first == second
+        assert all(0 <= node < 4 for node in first.node_of)
+
+    def test_hashed_varies_with_seed(self):
+        assert NodePlacement.hashed(50, 4, seed=1) != NodePlacement.hashed(
+            50, 4, seed=2
+        )
+
+    def test_hashed_rejects_empty_cluster(self):
+        with pytest.raises(BenchmarkError):
+            NodePlacement.hashed(10, 0)
+
+
+class TestCv:
+    def test_empty_is_zero(self):
+        assert _cv(()) == 0.0
+
+    def test_zero_mean_is_zero(self):
+        assert _cv((0.0, 0.0, 0.0)) == 0.0
+
+    def test_constant_values_have_no_variation(self):
+        assert _cv((5.0, 5.0, 5.0, 5.0)) == 0.0
+
+    def test_hand_computed_value(self):
+        # mean = 3, variance = ((2-3)² + (4-3)²) / 2 = 1, cv = 1/3.
+        assert _cv((2.0, 4.0)) == pytest.approx(1.0 / 3.0)
+
+    def test_scale_invariance(self):
+        values = (1.0, 2.0, 3.0, 4.0)
+        scaled = tuple(10 * v for v in values)
+        assert _cv(values) == pytest.approx(_cv(scaled))
+
+
+class TestClusterLoadBasics:
+    def test_totals_and_imbalance(self):
+        load = ClusterLoad((10.0, 20.0, 30.0))
+        assert load.total == 60.0
+        assert load.mean == 20.0
+        assert load.max_node == 30.0
+        assert load.imbalance == pytest.approx(1.5)
+
+    def test_balanced_cluster_imbalance_is_one(self):
+        load = ClusterLoad((7.0, 7.0, 7.0))
+        assert load.imbalance == 1.0
+        assert load.coefficient_of_variation == 0.0
+
+    def test_idle_cluster_imbalance_is_one(self):
+        assert ClusterLoad((0.0, 0.0)).imbalance == 1.0
+
+    def test_coefficient_of_variation_hand_computed(self):
+        load = ClusterLoad((2.0, 4.0))
+        # Same arithmetic as _cv, exposed as a property.
+        assert load.coefficient_of_variation == pytest.approx(sqrt(1.0) / 3.0)
+
+    def test_coefficient_of_variation_idle_cluster(self):
+        assert ClusterLoad((0.0, 0.0)).coefficient_of_variation == 0.0
+
+
+class TestLoopConcentration:
+    def test_no_loops_recorded(self):
+        assert ClusterLoad((1.0, 1.0)).loop_concentration == 0.0
+
+    def test_even_loops_have_zero_concentration(self):
+        load = ClusterLoad((3.0, 3.0), loop_totals=(2.0, 2.0, 2.0))
+        assert load.loop_concentration == 0.0
+
+    def test_concentrated_loops(self):
+        # loop totals 2 and 4: cv = 1/3 — "I/Os concentrated into fewer
+        # loops" shows up as a positive concentration.
+        load = ClusterLoad((3.0, 3.0), loop_totals=(2.0, 4.0))
+        assert load.loop_concentration == pytest.approx(1.0 / 3.0)
+
+
+class TestParallelInefficiency:
+    def test_defaults_to_one_without_loops(self):
+        assert ClusterLoad((1.0, 2.0)).parallel_inefficiency == 1.0
+
+    def test_idle_cluster_defaults_to_one(self):
+        load = ClusterLoad((0.0, 0.0), loop_totals=(0.0,), loop_max_node=(0.0,))
+        assert load.parallel_inefficiency == 1.0
+
+    def test_perfect_spread_is_one(self):
+        # Two nodes, two loops, every loop spreads 2 pages evenly:
+        # ideal per node = total/|nodes| = 2; Σ loop_max = 1 + 1 = 2.
+        load = ClusterLoad(
+            (2.0, 2.0), loop_totals=(2.0, 2.0), loop_max_node=(1.0, 1.0)
+        )
+        assert load.parallel_inefficiency == 1.0
+
+    def test_serialised_loops_exceed_one(self):
+        # Same totals but each loop lands entirely on one node:
+        # Σ loop_max = 4, ideal = 2 → inefficiency 2.0 (loops serialise).
+        load = ClusterLoad(
+            (2.0, 2.0), loop_totals=(2.0, 2.0), loop_max_node=(2.0, 2.0)
+        )
+        assert load.parallel_inefficiency == pytest.approx(2.0)

@@ -1,0 +1,91 @@
+"""The clustering experiment: reductions, invariances, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.experiments import clustering
+
+#: Small enough for CI, big enough that the pressured buffer (24 pages
+#: after ``experiment_config``) truly thrashes.
+CFG = BenchmarkConfig(n_objects=120, buffer_pages=128, seed=7)
+
+#: A minimal configuration for the cheap structural checks (plain NSM's
+#: scan-per-access cost dominates wall clock at any real scale).
+TINY = BenchmarkConfig(n_objects=60, buffer_pages=128, seed=7)
+
+ZIPF_SKEWS = (("zipf(1.0)", 1.0), ("zipf(1.4)", 1.4))
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """Access-path models only — the expensive, signal-bearing cells."""
+    return clustering.run_comparison(
+        CFG, models=("NSM+index", "DASDBS-NSM"), skews=ZIPF_SKEWS
+    )
+
+
+def test_experiment_config_pressures_the_buffer():
+    assert clustering.experiment_config(CFG).buffer_pages == 24
+    assert clustering.experiment_config(
+        BenchmarkConfig(buffer_pages=1200)
+    ).buffer_pages == 150
+
+
+def test_affinity_reduces_reads_for_access_path_models(comparison):
+    """The acceptance criterion, measured: on the Zipf-skewed
+    navigation workloads, affinity reclustering reduces physical page
+    reads vs insertion order for the NSM family's indexed variant and
+    for DASDBS-NSM."""
+    for skew in ("zipf(1.0)", "zipf(1.4)"):
+        for model in ("NSM+index", "DASDBS-NSM"):
+            per_policy = comparison[skew][model]
+            assert per_policy["affinity"] < per_policy["none"], (skew, model)
+
+
+def test_hotcold_also_helps_under_skew(comparison):
+    for model in ("NSM+index", "DASDBS-NSM"):
+        per_policy = comparison["zipf(1.4)"][model]
+        assert per_policy["hotcold"] < per_policy["none"], model
+
+
+def test_plain_nsm_is_placement_invariant():
+    """Every plain-NSM access is a relation scan: reads may drift only
+    by packing noise."""
+    comparison = clustering.run_comparison(
+        TINY, models=("NSM",), skews=(("zipf(1.0)", 1.0),)
+    )
+    per_policy = comparison["zipf(1.0)"]["NSM"]
+    for policy in ("affinity", "hotcold"):
+        drift = abs(per_policy[policy] - per_policy["none"])
+        assert drift <= 0.02 * per_policy["none"], policy
+
+
+def test_direct_models_move_little():
+    """DSM / DASDBS-DSM keep large objects on private pages; only the
+    small-object heap can move, so the change stays marginal."""
+    comparison = clustering.run_comparison(
+        TINY, models=("DSM", "DASDBS-DSM"), skews=(("zipf(1.0)", 1.0),)
+    )
+    for model in ("DSM", "DASDBS-DSM"):
+        per_policy = comparison["zipf(1.0)"][model]
+        for policy in ("affinity", "hotcold"):
+            drift = abs(per_policy[policy] - per_policy["none"])
+            assert drift <= 0.05 * per_policy["none"], (model, policy)
+
+
+def test_run_comparison_is_deterministic():
+    kwargs = dict(models=("DASDBS-NSM",), skews=(("zipf(1.0)", 1.0),))
+    assert clustering.run_comparison(TINY, **kwargs) == clustering.run_comparison(
+        TINY, **kwargs
+    )
+
+
+def test_render_is_complete():
+    text = clustering.render(TINY)
+    for model in clustering.CLUSTERED_MODELS:
+        assert model in text
+    for skew_name, _ in clustering.SKEW_LEVELS:
+        assert f"nav-{skew_name}" in text
+    assert "placement-" in text  # the physics note rides along

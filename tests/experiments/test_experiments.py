@@ -156,6 +156,7 @@ class TestCLI:
             "figure6",
             "ablations",
             "distribution",
+            "clustering",
             "sweep",
             "perf",
         }
@@ -184,3 +185,23 @@ class TestCLI:
     def test_cli_rejects_nonpositive_jobs(self):
         with pytest.raises(SystemExit):
             main(["table3", "--jobs", "0"])
+
+    def test_cli_recluster_axis(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "--fast", "--objects", "50", "--ops", "12",
+             "--capacities", "24", "--policies", "lru",
+             "--models", "DASDBS-NSM", "--workloads", "zipf(1.0)",
+             "--recluster", "none", "affinity",
+             "--sweep-json", str(json_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recluster" in out
+        payload = json_path.read_text()
+        assert '"recluster": "affinity"' in payload
+        assert '"workload_stats"' in payload
+
+    def test_cli_rejects_unknown_recluster_policy(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--recluster", "dstc"])

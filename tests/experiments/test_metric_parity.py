@@ -120,3 +120,39 @@ def test_sweep_service_time_is_a_function_of_the_counters(sweep_result):
             raw.io_calls, raw.io_pages
         )
         assert cell.to_dict()["service_time_ms"] == cell.service_time_ms
+
+
+def test_recluster_none_is_byte_identical_to_the_seed_format(sweep_result):
+    """ISSUE 5's golden gate: the ``--recluster none`` axis changes not
+    one byte of the sweep output — the whole JSON (no field stripping),
+    and therefore every paper-visible counter inside it, matches a sweep
+    run before the axis existed, and stripping the PR-3 fields still
+    reproduces the seed golden hash."""
+    explicit_none = sweep.run_sweep(
+        CONFIG,
+        workloads=("uniform", "zipf(1.0)"),
+        capacities=(24, 48),
+        policies=("lru", "lru-k", "2q"),
+        reclusters=("none",),
+    )
+    default_json = sweep_result.to_json()
+    assert explicit_none.to_json() == default_json
+    # The axis leaves no trace in the default encoding...
+    assert '"recluster"' not in default_json
+    assert '"workload_stats"' not in default_json
+    # ...and the counters still hash to the seed golden (the PR-3
+    # service-time fields stripped exactly as the seed comparison does).
+    payload = json.loads(explicit_none.to_json())
+    payload["grid"].pop("service_time_model")
+    for cell in payload["cells"]:
+        cell.pop("service_time_ms")
+    stripped = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    assert _sha(stripped) == GOLDEN["sweep_sha256"]
+
+
+def test_recluster_none_config_keeps_table_goldens():
+    """An explicit ``recluster="none"`` config renders Tables 3-8 to the
+    exact seed bytes (the fixed query suites never retrain)."""
+    config = CONFIG.with_changes(recluster="none")
+    for name, module in sorted(TABLES.items()):
+        assert _sha(module.render(config)) == GOLDEN["table_sha256"][name], name
