@@ -205,6 +205,43 @@ class BenchmarkRunner:
         finally:
             model.engine.close()
 
+    def run_trace_serving(
+        self,
+        name: str,
+        trace: WorkloadTrace,
+        clients: int,
+        scheduler: str = "fifo",
+        workers: int = 1,
+    ):
+        """Serve ``clients`` sessions of ``trace``'s workload on one model.
+
+        The multi-session counterpart of :meth:`run_trace`: client 0
+        replays ``trace`` itself, further clients replay derived traces
+        (same mix/skew, derived seeds), and the serving layer
+        interleaves them under ``scheduler``'s deterministic grant
+        order — on ``workers`` threads, which provably cannot move a
+        counter.  Returns the full
+        :class:`~repro.serving.server.ServingResult` (aggregate
+        counters plus the throughput/latency digest).  Reclustering
+        applies exactly as in :meth:`run_trace`, trained on the primary
+        trace.
+        """
+        from repro.serving import make_client_traces, make_scheduler, ServingExecutor
+
+        kwargs = {"seed": trace.spec.seed} if scheduler == "round-robin" else {}
+        model = self.build_model_for_trace(name, trace)
+        try:
+            traces = make_client_traces(trace.spec, trace.n_objects, clients)
+            executor = ServingExecutor(
+                model,
+                traces,
+                scheduler=make_scheduler(scheduler, **kwargs),
+                workers=workers,
+            )
+            return executor.run()
+        finally:
+            model.engine.close()
+
     def build_model_for_trace(self, name: str, trace: WorkloadTrace) -> StorageModel:
         """A loaded model, reclustered for ``trace`` when configured.
 

@@ -268,9 +268,11 @@ class WorkloadExecutor:
         restart = engine.restart_buffer
         stats = self.stats
         buffer = engine.buffer
-        previous_listener = buffer.fix_listener
         if stats is not None:
-            buffer.fix_listener = stats.page_fixed
+            # Registered alongside (not instead of) any other hooks —
+            # the serving layer's latch bookkeeping may be listening on
+            # the same buffer.
+            buffer.add_fix_listener(stats.page_fixed)
         try:
             for index, op in enumerate(self.trace.ops):
                 if not warm and index > 0:
@@ -298,7 +300,7 @@ class WorkloadExecutor:
                     raise BenchmarkError(f"unknown operation kind {kind!r}")
         finally:
             if stats is not None:
-                buffer.fix_listener = previous_listener
+                buffer.remove_fix_listener(stats.page_fixed)
         engine.flush()
         return WorkloadResult(
             spec=self.trace.spec,
@@ -336,6 +338,32 @@ def run_workload(
     """Compile ``spec`` for ``model`` and execute it."""
     trace = compile_trace(spec, n_objects or model.n_objects)
     return WorkloadExecutor(model, trace).run()
+
+
+def run_multi_session(
+    spec: WorkloadSpec,
+    model: StorageModel,
+    clients: int,
+    n_objects: int | None = None,
+    **serving_kwargs: Any,
+):
+    """Drive ``clients`` concurrent sessions of ``spec`` on one model.
+
+    The multi-session sibling of :func:`run_workload`: client 0 replays
+    the spec's own trace, further clients replay derived traces (same
+    mix and skew, derived seeds), and the serving layer interleaves
+    them deterministically over the shared engine.  With ``clients=1``
+    the aggregate counters are identical to :func:`run_workload`.
+    Keyword arguments (``scheduler``, ``workers``, ``priorities``, …)
+    pass through to :class:`~repro.serving.server.ServingExecutor`;
+    returns its :class:`~repro.serving.server.ServingResult`.  Imported
+    lazily — the serving layer sits above this module.
+    """
+    from repro.serving import run_serving
+
+    return run_serving(
+        model, spec, clients, n_objects=n_objects, **serving_kwargs
+    )
 
 
 # -- CLI spec parsing ---------------------------------------------------------

@@ -40,6 +40,14 @@ class BufferFullError(BufferError_):
     """All buffer frames are fixed; no victim can be evicted."""
 
 
+class LatchError(BufferError_):
+    """Session latch-protocol violation (e.g. unfix by a non-holder)."""
+
+
+class ServingError(ReproError):
+    """Multi-session serving layer misuse or scheduling failure."""
+
+
 class ModelError(ReproError):
     """A storage model was used in an unsupported way."""
 

@@ -32,6 +32,7 @@ from repro.models.registry import resolve_models
 from repro.storage.backends import BACKEND_NAMES
 from repro.storage.buffer import POLICY_NAMES
 from repro.clustering.placement import RECLUSTER_POLICIES
+from repro.serving.scheduler import SCHEDULER_NAMES
 from repro.experiments import (
     ablations,
     clustering,
@@ -200,6 +201,42 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     group.add_argument(
+        "--clients",
+        nargs="+",
+        type=int,
+        default=list(sweep.DEFAULT_CLIENTS),
+        metavar="N",
+        help=(
+            "concurrent-session axis of the sweep: each cell serves N "
+            "client sessions of its workload over one shared engine "
+            "(default: 1, the single-stream replay with byte-identical "
+            "output; any other axis adds simulated-time p50/p99 latency "
+            "and requests/second per cell)"
+        ),
+    )
+    group.add_argument(
+        "--scheduler",
+        default=sweep.DEFAULT_SCHEDULER,
+        choices=SCHEDULER_NAMES,
+        help=(
+            "admission scheduler fixing the deterministic grant order of "
+            f"serving cells (default: {sweep.DEFAULT_SCHEDULER}; known: "
+            f"{', '.join(SCHEDULER_NAMES)})"
+        ),
+    )
+    group.add_argument(
+        "--serving-workers",
+        type=int,
+        default=sweep.DEFAULT_SERVING_WORKERS,
+        metavar="N",
+        help=(
+            "worker threads inside each serving cell (default 1); the "
+            "ticket protocol serialises them in grant order, so this can "
+            "never change a counter — sweep JSON is byte-identical for "
+            "any N"
+        ),
+    )
+    group.add_argument(
         "--processes",
         type=int,
         default=None,
@@ -269,6 +306,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--ops must be at least 1")
     if args.processes is not None and args.processes < 1:
         parser.error("--processes must be at least 1")
+    if any(n < 1 for n in args.clients):
+        parser.error("--clients must be positive session counts")
+    if args.serving_workers < 1:
+        parser.error("--serving-workers must be at least 1")
     if args.perf_repeats is not None and args.perf_repeats < 1:
         parser.error("--perf-repeats must be at least 1")
     try:
@@ -289,6 +330,9 @@ def main(argv: list[str] | None = None) -> int:
         json_path=args.sweep_json,
         processes=args.processes,
         reclusters=args.recluster,
+        clients=args.clients,
+        scheduler=args.scheduler,
+        serving_workers=args.serving_workers,
     )
     runners["perf"] = lambda cfg: perf.render(
         cfg,

@@ -41,6 +41,8 @@ from typing import Callable
 
 from repro.benchmark.config import BenchmarkConfig
 from repro.benchmark.generator import generate_stations
+from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.workload import compile_trace, parse_workload
 from repro.errors import BenchmarkError
 from repro.experiments import sweep
 from repro.experiments.report import render_table
@@ -83,6 +85,18 @@ PERF_SNAPSHOT_MODELS = ("DSM", "DASDBS-NSM")
 #: Record size of the page benchmarks: small DSM-style records, the
 #: regime where per-slot overheads dominate a scan.
 PAGE_RECORD_SIZE = 16
+
+#: The serving benchmark: a closed-loop client population multiplexed
+#: onto one shared engine by the multi-session serving layer.  The
+#: timing is the wall clock of serving every request (so ``per_op_us``
+#: is the requests-per-second trajectory, inverted); the checksum
+#: covers the aggregate counters *and* the simulated-time latency
+#: digest, both deterministic.  Two worker threads keep the ticket
+#: protocol itself on the timed path.
+PERF_SERVING_CONFIG = BenchmarkConfig(n_objects=60, buffer_pages=48)
+PERF_SERVING_WORKLOAD = "uniform,ops=25,seed=11"
+PERF_SERVING_CLIENTS = 8
+PERF_SERVING_WORKERS = 2
 
 DEFAULT_REPEATS = 5
 
@@ -460,6 +474,55 @@ def _bench_read_many(repeats: int) -> BenchResult:
     )
 
 
+def _bench_serving(repeats: int) -> BenchResult:
+    """Closed-loop multi-session serving: the requests-per-second entry.
+
+    ``n_ops`` is the total request count across all clients, so
+    ``per_op_us`` is the wall clock per served request — the committed
+    file's throughput trajectory.  The checksum covers the aggregate
+    engine counters and the simulated-time p50/p99/throughput digest;
+    both are deterministic, so any drift means the serving layer (or
+    the engine under it) moved a paper-visible quantity.
+    """
+    spec = parse_workload(PERF_SERVING_WORKLOAD)
+    runner = BenchmarkRunner(PERF_SERVING_CONFIG)
+    trace = compile_trace(spec, PERF_SERVING_CONFIG.n_objects)
+
+    def serve():
+        return runner.run_trace_serving(
+            "DASDBS-NSM",
+            trace,
+            PERF_SERVING_CLIENTS,
+            scheduler="fifo",
+            workers=PERF_SERVING_WORKERS,
+        )
+
+    serving_ms = _best_ms(serve, repeats)
+    outcome = serve()
+    raw = outcome.result.raw
+    checksum = _sha(
+        json.dumps(
+            {
+                "counters": {
+                    "read_calls": raw.read_calls,
+                    "write_calls": raw.write_calls,
+                    "pages_read": raw.pages_read,
+                    "pages_written": raw.pages_written,
+                    "page_fixes": raw.page_fixes,
+                    "buffer_hits": raw.buffer_hits,
+                    "buffer_misses": raw.buffer_misses,
+                    "evictions": raw.evictions,
+                },
+                "stats": outcome.stats.to_dict(),
+            },
+            sort_keys=True,
+        ).encode()
+    )
+    return BenchResult(
+        "serving_closed_loop", outcome.stats.n_ops, serving_ms, checksum
+    )
+
+
 def run_perf(repeats: int = DEFAULT_REPEATS) -> PerfReport:
     """Run every hot-path benchmark and collect the report."""
     if repeats < 1:
@@ -471,6 +534,7 @@ def run_perf(repeats: int = DEFAULT_REPEATS) -> PerfReport:
     results.append(_bench_read_many(repeats))
     results.append(_bench_sweep_cell(repeats))
     results.append(_bench_sweep_snapshot(repeats))
+    results.append(_bench_serving(repeats))
     return PerfReport(results=tuple(results), repeats=repeats)
 
 

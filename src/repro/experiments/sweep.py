@@ -44,6 +44,8 @@ from repro.clustering.stats import trace_stats
 from repro.errors import BenchmarkError
 from repro.models.registry import MEASURED_MODELS, resolve_models
 from repro.experiments.report import render_table
+from repro.serving.scheduler import SCHEDULER_NAMES
+from repro.serving.server import ServingStats
 from repro.storage.disk import DiskGeometry
 
 #: Default grid of the sweep experiment: the paper's buffer (1200)
@@ -59,6 +61,21 @@ DEFAULT_WORKLOADS = ("uniform", "zipf(1.0)")
 #: per-cell ``recluster`` coordinate and the per-workload trace stats)
 #: only appear once a real policy enters the grid.
 DEFAULT_RECLUSTERS = ("none",)
+
+#: Default client axis: one session, the single-stream replay.  As with
+#: the recluster axis, exactly this axis keeps the sweep's text and
+#: JSON byte-for-byte what they were before the serving layer existed;
+#: any other axis routes *every* cell (including the 1-client cells)
+#: through the serving executor, whose 1-client counters are identical
+#: to the single-stream executor's — so the extra columns appear
+#: uniformly and the counters never move.
+DEFAULT_CLIENTS = (1,)
+
+#: Default admission scheduler and worker-thread count of the serving
+#: cells (worker count can never move a counter; it exists so CI can
+#: prove exactly that by byte-diffing sweep JSON across thread counts).
+DEFAULT_SCHEDULER = "fifo"
+DEFAULT_SERVING_WORKERS = 1
 
 #: Geometry behind the sweep's service-time estimates (the paper-era
 #: disk of :class:`~repro.storage.disk.DiskGeometry`'s defaults).  The
@@ -79,6 +96,11 @@ class SweepCell:
     result: WorkloadResult
     #: Placement the cell ran under ("none" = insertion order).
     recluster: str = "none"
+    #: Concurrent sessions the cell served (1 = single-stream replay).
+    clients: int = 1
+    #: Simulated-time throughput/latency digest of the serving run;
+    #: ``None`` on the single-stream path (default client axis).
+    serving: ServingStats | None = None
 
     @property
     def service_time_ms(self) -> float:
@@ -88,27 +110,43 @@ class SweepCell:
         raw = self.result.raw
         return SWEEP_GEOMETRY.service_time_ms(raw.io_calls, raw.io_pages)
 
-    def row(self, with_recluster: bool = False) -> list[object]:
+    def row(
+        self, with_recluster: bool = False, with_clients: bool = False
+    ) -> list[object]:
         """Table row: coordinates plus the per-operation metrics."""
         per_op = self.result.per_op
         coordinates: list[object] = [self.model, self.policy, self.capacity]
         if with_recluster:
             coordinates.append(self.recluster)
-        return coordinates + [
+        if with_clients:
+            coordinates.append(self.clients)
+        row = coordinates + [
             per_op.io_calls,
             per_op.io_pages,
             self.result.hit_rate,
             per_op.evictions,
             self.service_time_ms / self.result.n_ops,
         ]
+        if with_clients:
+            stats = self.serving
+            row += [
+                stats.latency_p50_ms if stats else None,
+                stats.latency_p99_ms if stats else None,
+                stats.requests_per_second if stats else None,
+            ]
+        return row
 
-    def to_dict(self, with_recluster: bool = False) -> dict[str, object]:
+    def to_dict(
+        self, with_recluster: bool = False, with_clients: bool = False
+    ) -> dict[str, object]:
         """JSON-stable cell encoding (raw integer counters, plus the
         exact service-time estimate derived from them).
 
-        The ``recluster`` coordinate is emitted only on request — a
-        grid whose axis is the default ``("none",)`` must encode
-        byte-identically to a pre-axis grid.
+        The ``recluster`` and ``clients`` coordinates are emitted only
+        on request — a grid whose axes are the defaults (``("none",)``
+        / ``(1,)``) must encode byte-identically to a pre-axis grid.
+        The serving digest is simulated-time (derived from the integer
+        counters), so it is as byte-reproducible as they are.
         """
         raw = self.result.raw
         encoded: dict[str, object] = {
@@ -130,6 +168,11 @@ class SweepCell:
         }
         if with_recluster:
             encoded["recluster"] = self.recluster
+        if with_clients:
+            encoded["clients"] = self.clients
+            encoded["serving"] = (
+                self.serving.to_dict() if self.serving is not None else None
+            )
         return encoded
 
 
@@ -146,11 +189,22 @@ class SweepResult:
     #: Recluster axis of the grid; the default axis means the sweep is
     #: indistinguishable (in output bytes) from a pre-axis sweep.
     reclusters: tuple[str, ...] = ("none",)
+    #: Client axis of the grid (same byte-parity contract: the default
+    #: ``(1,)`` encodes exactly like a pre-axis sweep).
+    clients: tuple[int, ...] = DEFAULT_CLIENTS
+    #: Admission scheduler and worker threads of the serving cells.
+    scheduler: str = DEFAULT_SCHEDULER
+    serving_workers: int = DEFAULT_SERVING_WORKERS
 
     @property
     def reclustered(self) -> bool:
         """Whether the grid carries a non-default recluster axis."""
         return tuple(self.reclusters) != ("none",)
+
+    @property
+    def multi_client(self) -> bool:
+        """Whether the grid carries a non-default client axis."""
+        return tuple(self.clients) != DEFAULT_CLIENTS
 
     def cells_for(self, workload: str) -> list[SweepCell]:
         return [cell for cell in self.cells if cell.workload == workload]
@@ -187,9 +241,20 @@ class SweepResult:
                 ).to_dict()
                 for spec in self.workloads
             }
+        served = self.multi_client
+        if served:
+            grid["clients"] = list(self.clients)
+            # The worker-thread count is deliberately *not* encoded:
+            # like --jobs/--processes it is an execution knob that can
+            # never move a counter, and CI proves it by byte-diffing
+            # this JSON across worker counts.
+            grid["serving"] = {"scheduler": self.scheduler}
         payload = {
             "grid": grid,
-            "cells": [cell.to_dict(with_recluster=extended) for cell in self.cells],
+            "cells": [
+                cell.to_dict(with_recluster=extended, with_clients=served)
+                for cell in self.cells
+            ],
         }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
@@ -222,6 +287,10 @@ def _run_cell_in_process(
     model: str,
     recluster: str,
     snapshot_paths: tuple[str, ...] = (),
+    clients: int = 1,
+    served: bool = False,
+    scheduler: str = DEFAULT_SCHEDULER,
+    serving_workers: int = DEFAULT_SERVING_WORKERS,
 ) -> SweepCell:
     """One grid cell, self-contained for a worker process.
 
@@ -252,13 +321,22 @@ def _run_cell_in_process(
     trace = _WORKER_TRACES.get(trace_key)
     if trace is None:
         trace = _WORKER_TRACES[trace_key] = compile_trace(spec, config.n_objects)
+    if served:
+        serving = runner.run_trace_serving(
+            model, trace, clients, scheduler=scheduler, workers=serving_workers
+        )
+        result, stats = serving.result, serving.stats
+    else:
+        result, stats = runner.run_trace(model, trace), None
     return SweepCell(
         workload=spec.name,
         capacity=capacity,
         policy=policy,
         model=model,
-        result=runner.run_trace(model, trace),
+        result=result,
         recluster=recluster,
+        clients=clients,
+        serving=stats,
     )
 
 
@@ -271,6 +349,9 @@ def run_sweep(
     jobs: int | None = None,
     processes: int | None = None,
     reclusters: Sequence[str] = DEFAULT_RECLUSTERS,
+    clients: Sequence[int] = DEFAULT_CLIENTS,
+    scheduler: str = DEFAULT_SCHEDULER,
+    serving_workers: int = DEFAULT_SERVING_WORKERS,
 ) -> SweepResult:
     """Run the full grid; every cell gets a fresh engine.
 
@@ -298,6 +379,15 @@ def run_sweep(
     see :meth:`~repro.benchmark.runner.BenchmarkRunner.
     build_model_for_trace`).  The default axis ``("none",)`` keeps the
     grid — and its output bytes — exactly as before the axis existed.
+
+    ``clients`` crosses concurrent-session counts into the grid.  The
+    default axis ``(1,)`` keeps the single-stream replay (and its
+    output bytes) untouched; any other axis routes **every** cell
+    through the serving layer — ``scheduler`` fixes the deterministic
+    grant order and ``serving_workers`` the worker-thread count, which
+    provably cannot move a counter (CI byte-diffs the JSON across
+    worker counts) — and adds p50/p99 latency plus requests/second to
+    each cell, all simulated-time and hence byte-reproducible.
     """
     specs = tuple(
         parse_workload(w) if isinstance(w, str) else w for w in workloads
@@ -316,13 +406,28 @@ def run_sweep(
         raise BenchmarkError(
             f"recluster policies must be unique, got {list(recluster_names)!r}"
         )
+    client_axis = tuple(int(n) for n in clients)
+    if not client_axis or any(n < 1 for n in client_axis):
+        raise BenchmarkError("the client axis needs at least one count >= 1")
+    if len(set(client_axis)) != len(client_axis):
+        raise BenchmarkError(
+            f"client counts must be unique, got {list(client_axis)!r}"
+        )
+    if scheduler not in SCHEDULER_NAMES:
+        raise BenchmarkError(
+            f"unknown scheduler {scheduler!r} (known: {', '.join(SCHEDULER_NAMES)})"
+        )
+    if serving_workers < 1:
+        raise BenchmarkError("serving_workers must be at least 1")
+    served = client_axis != DEFAULT_CLIENTS
     grid = [
-        (spec, capacity, policy, model, recluster)
+        (spec, capacity, policy, model, recluster, n_clients)
         for spec in specs
         for capacity in capacities
         for policy in policies
         for model in model_names
         for recluster in recluster_names
+        for n_clients in client_axis
     ]
 
     if processes is not None and processes > 1 and len(grid) > 1:
@@ -384,7 +489,7 @@ def run_sweep(
                         reclustered, spill_dir, stem=f"artifact-{serial}"
                     )
                     serial += 1
-            for spec, capacity, policy, model, recluster in grid:
+            for spec, capacity, policy, model, recluster, n_clients in grid:
                 key = (
                     (model, "none", None)
                     if recluster == "none"
@@ -397,8 +502,14 @@ def run_sweep(
                     pool.submit(
                         _run_cell_in_process,
                         config,
-                        *point,
-                        spill_paths.get((point[0].name, point[3], point[4]), ()),
+                        *point[:5],
+                        snapshot_paths=spill_paths.get(
+                            (point[0].name, point[3], point[4]), ()
+                        ),
+                        clients=point[5],
+                        served=served,
+                        scheduler=scheduler,
+                        serving_workers=serving_workers,
                     )
                     for point in grid
                 ]
@@ -414,6 +525,9 @@ def run_sweep(
             models=model_names,
             cells=cells,
             reclusters=recluster_names,
+            clients=client_axis,
+            scheduler=scheduler,
+            serving_workers=serving_workers,
         )
 
     # Generate the extension and compile each spec's trace once; every
@@ -422,20 +536,38 @@ def run_sweep(
     traces = {spec.name: compile_trace(spec, config.n_objects) for spec in specs}
 
     def run_cell(
-        spec: WorkloadSpec, capacity: int, policy: str, model: str, recluster: str
+        spec: WorkloadSpec,
+        capacity: int,
+        policy: str,
+        model: str,
+        recluster: str,
+        n_clients: int,
     ) -> SweepCell:
         cell_config = config.with_changes(
             buffer_pages=capacity, policy=policy, recluster=recluster
         )
         runner = BenchmarkRunner(cell_config)
         runner.adopt_extension(stations)
+        if served:
+            serving = runner.run_trace_serving(
+                model,
+                traces[spec.name],
+                n_clients,
+                scheduler=scheduler,
+                workers=serving_workers,
+            )
+            result, stats = serving.result, serving.stats
+        else:
+            result, stats = runner.run_trace(model, traces[spec.name]), None
         return SweepCell(
             workload=spec.name,
             capacity=capacity,
             policy=policy,
             model=model,
-            result=runner.run_trace(model, traces[spec.name]),
+            result=result,
             recluster=recluster,
+            clients=n_clients,
+            serving=stats,
         )
 
     if jobs is None:
@@ -454,6 +586,9 @@ def run_sweep(
         models=model_names,
         cells=cells,
         reclusters=recluster_names,
+        clients=client_axis,
+        scheduler=scheduler,
+        serving_workers=serving_workers,
     )
 
 
@@ -461,13 +596,18 @@ def render_result(result: SweepResult) -> str:
     """Aligned-text report: one table per workload, grid order rows."""
     out = []
     with_recluster = result.reclustered
+    with_clients = result.multi_client
     headers = ["model", "policy", "buffer"]
     if with_recluster:
         headers.append("recluster")
+    if with_clients:
+        headers.append("clients")
     headers += ["calls/op", "pages/op", "hit rate", "evict/op", "svc ms/op"]
+    if with_clients:
+        headers += ["p50 ms", "p99 ms", "req/s"]
     for spec in result.workloads:
         rows = [
-            cell.row(with_recluster=with_recluster)
+            cell.row(with_recluster=with_recluster, with_clients=with_clients)
             for cell in result.cells_for(spec.name)
         ]
         note = (
@@ -482,6 +622,13 @@ def render_result(result: SweepResult) -> str:
                 "  Reclustered cells train on the cell's own trace "
                 "(unmeasured), rewrite the shared pages, then replay "
                 "measured."
+            )
+        if with_clients:
+            note += (
+                "  Serving cells interleave N client sessions under the "
+                f"{result.scheduler!r} grant order; p50/p99 and req/s are "
+                "simulated-time (closed loop over the Equation-1 service "
+                "times), so they reproduce byte-for-byte."
             )
         out.append(
             render_table(f"Sweep — {spec.describe()}", headers, rows, note=note)
@@ -498,6 +645,9 @@ def render(
     json_path: str | None = None,
     processes: int | None = None,
     reclusters: Sequence[str] = DEFAULT_RECLUSTERS,
+    clients: Sequence[int] = DEFAULT_CLIENTS,
+    scheduler: str = DEFAULT_SCHEDULER,
+    serving_workers: int = DEFAULT_SERVING_WORKERS,
 ) -> str:
     """CLI entry point: run the grid, optionally dump JSON, render text."""
     result = run_sweep(
@@ -508,6 +658,9 @@ def render(
         models,
         processes=processes,
         reclusters=reclusters,
+        clients=clients,
+        scheduler=scheduler,
+        serving_workers=serving_workers,
     )
     if json_path:
         with open(json_path, "w", encoding="utf-8") as handle:

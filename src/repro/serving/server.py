@@ -1,0 +1,439 @@
+"""The serving executor: N sessions, one engine, deterministic counters.
+
+Execution model
+---------------
+
+The executor takes one compiled trace per client, asks the scheduler
+for a grant order (:mod:`repro.serving.scheduler`), and replays the
+granted operations against the **shared** model/engine with exactly the
+measurement discipline of the single-stream
+:class:`~repro.benchmark.workload.WorkloadExecutor`: buffer restarted
+cold, counters zeroed, ``warm=False`` restarts before every operation,
+one final flush models the database disconnect.  With one client and
+the original trace, the replay *is* the single-stream replay — same
+calls, same pages, same fixes — which the parity tests pin down.
+
+Worker threads never reorder work.  Operations execute under a ticket
+protocol: each granted operation takes the next ticket, and a ticket
+may only run once every earlier ticket has completed.  Threads hand the
+engine to each other in grant order, so 1, 2 or 8 workers produce
+byte-identical counters and page bytes — thread-count invariance is the
+concurrency oracle the determinism suite asserts.  An admission
+semaphore bounds how many grants may be outstanding at once (the
+bounded-concurrency half of the admission queue).
+
+Throughput and tail latency
+---------------------------
+
+Wall-clock latency of a simulated engine is meaningless (and
+non-reproducible), so the serving layer measures time the same way the
+sweeps do: from the counters.  Every operation's **service time** is
+Equation 1 over its own I/O-call/page deltas plus a per-fix CPU term
+(the paper reads page fixes as "an indicator of the CPU load",
+Table 6).  A closed-loop queueing recurrence turns service times into
+request latencies: the serial server starts each granted operation the
+moment the previous one finishes, a session re-submits the instant its
+last request completes, and a request's latency is completion minus
+submission — queue wait plus service.  p50/p99, makespan and
+requests-per-second all fall out of that recurrence, byte-reproducible
+because their only inputs are integer counters and the deterministic
+grant order.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.benchmark.workload import (
+    WorkloadResult,
+    WorkloadSpec,
+    WorkloadTrace,
+    compile_trace,
+)
+from repro.errors import ServingError
+from repro.models.base import StorageModel
+from repro.serving.scheduler import RoundRobinScheduler, Scheduler
+from repro.serving.session import Session
+from repro.storage.disk import DiskGeometry
+
+#: CPU charge per page fix in the simulated service time, in
+#: milliseconds.  Keeps pure-buffer-hit operations from costing zero
+#: (which would degenerate the latency distribution); the value is a
+#: deliberately small fraction of one positioning delay so I/O still
+#: dominates, as in Equation 1.
+SERVING_CPU_MS_PER_FIX = 0.05
+
+#: Seed stride between derived per-client traces; any constant works,
+#: a prime keeps derived seeds from colliding with hand-picked ones.
+CLIENT_SEED_STRIDE = 7919
+
+
+@dataclass(frozen=True)
+class ServiceTimeModel:
+    """Operation cost: Equation 1 plus a per-fix CPU term."""
+
+    geometry: DiskGeometry = field(default_factory=DiskGeometry)
+    cpu_ms_per_fix: float = SERVING_CPU_MS_PER_FIX
+
+    def op_ms(self, io_calls: int, io_pages: int, page_fixes: int) -> float:
+        return (
+            self.geometry.service_time_ms(io_calls, io_pages)
+            + self.cpu_ms_per_fix * page_fixes
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending series (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Deterministic throughput/latency digest of one serving run."""
+
+    clients: int
+    scheduler: str
+    n_ops: int
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    makespan_ms: float
+    requests_per_second: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "clients": self.clients,
+            "scheduler": self.scheduler,
+            "n_ops": self.n_ops,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "makespan_ms": self.makespan_ms,
+            "requests_per_second": self.requests_per_second,
+        }
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Everything one serving run produced.
+
+    ``result`` is the aggregate :class:`WorkloadResult` over the shared
+    engine (counters of all sessions together, op counts summed), shaped
+    exactly like a single-stream result so sweep cells can hold either.
+    """
+
+    result: WorkloadResult
+    stats: ServingStats
+    session_summaries: tuple[dict, ...]
+
+
+def make_client_traces(
+    spec: WorkloadSpec, n_objects: int, clients: int
+) -> list[WorkloadTrace]:
+    """One deterministic trace per client.
+
+    Client 0 replays the spec's own trace — with ``clients=1`` the
+    serving layer therefore executes the exact single-stream access
+    pattern.  Every further client runs the same mix/skew with a derived
+    seed (and a suffixed name), the DOEF-style "many statistically
+    identical clients" population.
+    """
+    if clients < 1:
+        raise ServingError("clients must be at least 1")
+    traces = [compile_trace(spec, n_objects)]
+    for client in range(1, clients):
+        derived = spec.with_changes(
+            seed=spec.seed + CLIENT_SEED_STRIDE * client,
+            name=f"{spec.name}+c{client}",
+        )
+        traces.append(compile_trace(derived, n_objects))
+    return traces
+
+
+class ServingExecutor:
+    """Replay N sessions' traces against one shared loaded model."""
+
+    def __init__(
+        self,
+        model: StorageModel,
+        traces: Sequence[WorkloadTrace],
+        scheduler: Scheduler | None = None,
+        workers: int = 1,
+        max_in_flight: int | None = None,
+        priorities: Sequence[int] | None = None,
+        service_model: ServiceTimeModel | None = None,
+    ) -> None:
+        if not traces:
+            raise ServingError("at least one client trace is required")
+        if workers < 1:
+            raise ServingError("workers must be at least 1")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ServingError("max_in_flight must be at least 1")
+        if priorities is not None and len(priorities) != len(traces):
+            raise ServingError("one priority per client trace is required")
+        for trace in traces:
+            if trace.n_objects > model.n_objects:
+                raise ServingError(
+                    f"trace targets {trace.n_objects} objects but {model.name} "
+                    f"holds only {model.n_objects}"
+                )
+        self.model = model
+        self.engine = model.engine
+        self.scheduler = scheduler or RoundRobinScheduler(seed=traces[0].spec.seed)
+        self.workers = workers
+        self.max_in_flight = max_in_flight or workers
+        self.service_model = service_model or ServiceTimeModel()
+        self.sessions = [
+            Session(i, trace, priority=(priorities[i] if priorities else 1))
+            for i, trace in enumerate(traces)
+        ]
+        # Replay state (reset per run).
+        self._clock_ms = 0.0
+        self._global_index = 0
+        self._active: Session | None = None
+
+    # -- per-session fix attribution ----------------------------------------
+
+    def _fix_observed(self, page_id: int) -> None:
+        active = self._active
+        if active is not None:
+            active.counters.page_fixes += 1
+
+    # -- the grant plan ------------------------------------------------------
+
+    def _plan(self) -> list[Session]:
+        demands = [session.n_ops for session in self.sessions]
+        priorities = [session.priority for session in self.sessions]
+        grants = self.scheduler.order(demands, priorities)
+        if len(grants) != sum(demands):
+            raise ServingError(
+                f"scheduler {self.scheduler.name!r} granted {len(grants)} "
+                f"operations for a demand of {sum(demands)}"
+            )
+        counts = [0] * len(self.sessions)
+        for index in grants:
+            if not 0 <= index < len(self.sessions):
+                raise ServingError(
+                    f"scheduler {self.scheduler.name!r} granted unknown "
+                    f"session {index!r}"
+                )
+            counts[index] += 1
+        if counts != demands:
+            raise ServingError(
+                f"scheduler {self.scheduler.name!r} granted {counts} "
+                f"operations against demands {demands}"
+            )
+        return [self.sessions[index] for index in grants]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> ServingResult:
+        engine = self.engine
+        engine.restart_buffer()
+        engine.reset_metrics()
+        if len(self.sessions) > 1 or self.workers > 1:
+            engine.buffer.enable_latching()
+        self._clock_ms = 0.0
+        self._global_index = 0
+        self._active = None
+        for session in self.sessions:
+            session.cursor = 0
+            session.ready_at_ms = 0.0
+        plan = self._plan()
+        engine.buffer.add_fix_listener(self._fix_observed)
+        try:
+            if self.workers == 1:
+                for session in plan:
+                    self._execute_granted(session)
+            else:
+                self._run_ticketed(plan)
+        finally:
+            engine.buffer.remove_fix_listener(self._fix_observed)
+            self._active = None
+        engine.flush()
+        return self._collect()
+
+    def _run_ticketed(self, plan: list[Session]) -> None:
+        """Execute the plan on worker threads, serialised by tickets.
+
+        Ticket *t* may run only after tickets ``0..t-1`` completed, so
+        the engine sees exactly the single-threaded order — across real
+        thread handoffs.  The admission semaphore bounds outstanding
+        grants (claimed tickets not yet completed) at
+        ``max_in_flight``.
+        """
+        cond = threading.Condition()
+        state = {"next": 0, "turn": 0, "error": None}
+        admission = threading.Semaphore(self.max_in_flight)
+        total = len(plan)
+
+        def worker() -> None:
+            while True:
+                admission.acquire()
+                claimed = False
+                try:
+                    with cond:
+                        if state["error"] is not None or state["next"] >= total:
+                            return
+                        ticket = state["next"]
+                        state["next"] = ticket + 1
+                        claimed = True
+                        while state["turn"] != ticket and state["error"] is None:
+                            cond.wait()
+                        if state["error"] is not None:
+                            return
+                    try:
+                        self._execute_granted(plan[ticket])
+                    except BaseException as exc:  # propagate to the caller
+                        with cond:
+                            state["error"] = exc
+                            cond.notify_all()
+                        return
+                    with cond:
+                        state["turn"] = ticket + 1
+                        cond.notify_all()
+                finally:
+                    admission.release()
+                if not claimed:  # pragma: no cover - defensive
+                    return
+
+        threads = [
+            threading.Thread(target=worker, name=f"serving-worker-{i}")
+            for i in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if state["error"] is not None:
+            raise state["error"]
+
+    def _execute_granted(self, session: Session) -> None:
+        """One granted operation: replay, cost, closed-loop accounting.
+
+        Runs strictly serially (plain loop or ticket order), so the
+        engine, the simulated clock and the session ledgers need no
+        further synchronisation.
+        """
+        index, op = session.next_operation()
+        engine = self.engine
+        if not session.trace.spec.warm and self._global_index > 0:
+            engine.restart_buffer()
+        self._global_index += 1
+        metrics = engine.metrics
+        calls_before = metrics.read_calls + metrics.write_calls
+        pages_before = metrics.pages_read + metrics.pages_written
+        fixes_before = metrics.page_fixes
+        self._active = session
+        try:
+            self._execute_op(op, index)
+        finally:
+            self._active = None
+        service_ms = self.service_model.op_ms(
+            metrics.read_calls + metrics.write_calls - calls_before,
+            metrics.pages_read + metrics.pages_written - pages_before,
+            metrics.page_fixes - fixes_before,
+        )
+        # Closed-loop queueing recurrence: the serial server picks the
+        # grant up at max(submission, server-free); with work always
+        # queued the server is never idle, so start == clock.
+        start_ms = self._clock_ms if self._clock_ms > session.ready_at_ms else session.ready_at_ms
+        completion_ms = start_ms + service_ms
+        self._clock_ms = completion_ms
+        counters = session.counters
+        counters.ops[op.kind] += 1
+        counters.service_ms += service_ms
+        counters.latencies_ms.append(completion_ms - session.ready_at_ms)
+        session.ready_at_ms = completion_ms
+
+    def _execute_op(self, op, index: int) -> None:
+        """One operation, with exactly the single-stream semantics."""
+        model = self.model
+        kind = op.kind
+        if kind == "point":
+            if model.supports_oid_access:
+                model.fetch_full(model.ref_of(op.oid))
+            else:
+                model.fetch_full_by_key(model.key_of(op.oid))
+        elif kind == "navigate":
+            root_ref = model.ref_of(op.oid)
+            model.fetch_roots([root_ref])
+            children = model._dedupe(model.fetch_refs([root_ref]))
+            grand = model._dedupe(model.fetch_refs(children)) if children else []
+            if grand:
+                model.fetch_roots(grand)
+        elif kind == "scan":
+            model.scan_all()
+        elif kind == "update":
+            model.update_roots([model.ref_of(op.oid)], {"Name": f"workload-{index}"})
+        else:  # pragma: no cover - specs cannot produce unknown kinds
+            raise ServingError(f"unknown operation kind {kind!r}")
+
+    # -- results -------------------------------------------------------------
+
+    def _collect(self) -> ServingResult:
+        latencies = sorted(
+            latency
+            for session in self.sessions
+            for latency in session.counters.latencies_ms
+        )
+        n_ops = len(latencies)
+        makespan_ms = self._clock_ms
+        stats = ServingStats(
+            clients=len(self.sessions),
+            scheduler=self.scheduler.name,
+            n_ops=n_ops,
+            latency_p50_ms=_percentile(latencies, 0.50),
+            latency_p99_ms=_percentile(latencies, 0.99),
+            latency_mean_ms=(sum(latencies) / n_ops) if n_ops else 0.0,
+            makespan_ms=makespan_ms,
+            requests_per_second=(
+                n_ops * 1000.0 / makespan_ms if makespan_ms > 0 else 0.0
+            ),
+        )
+        op_counts: dict[str, int] = {}
+        for session in self.sessions:
+            for kind, count in session.trace.op_counts().items():
+                op_counts[kind] = op_counts.get(kind, 0) + count
+        result = WorkloadResult(
+            spec=self.sessions[0].trace.spec,
+            model_name=self.model.name,
+            raw=self.engine.metrics.snapshot(),
+            op_counts=op_counts,
+        )
+        return ServingResult(
+            result=result,
+            stats=stats,
+            session_summaries=tuple(
+                session.counters.to_dict() for session in self.sessions
+            ),
+        )
+
+
+def run_serving(
+    model: StorageModel,
+    spec: WorkloadSpec,
+    clients: int,
+    scheduler: Scheduler | None = None,
+    workers: int = 1,
+    n_objects: int | None = None,
+    **kwargs,
+) -> ServingResult:
+    """Compile per-client traces for ``spec`` and serve them.
+
+    The convenience entry point mirroring
+    :func:`repro.benchmark.workload.run_workload` for the multi-session
+    case; extra keyword arguments pass through to
+    :class:`ServingExecutor`.
+    """
+    traces = make_client_traces(spec, n_objects or model.n_objects, clients)
+    executor = ServingExecutor(
+        model, traces, scheduler=scheduler, workers=workers, **kwargs
+    )
+    return executor.run()

@@ -19,6 +19,7 @@ BENCH_NAMES = {
     "read_many_zero_copy",
     "sweep_cell",
     "sweep_cell_snapshot",
+    "serving_closed_loop",
 }
 
 

@@ -1,0 +1,100 @@
+"""Scheduler units: grant orders are complete, fair and deterministic."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.scheduler import (
+    FIFOScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+    SCHEDULER_NAMES,
+    make_scheduler,
+)
+
+
+def counts(grants, n):
+    out = [0] * n
+    for g in grants:
+        out[g] += 1
+    return out
+
+
+class TestFIFO:
+    def test_drains_as_strict_round_robin(self):
+        grants = FIFOScheduler().order([2, 2, 2])
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_exhausted_sessions_drop_out(self):
+        grants = FIFOScheduler().order([1, 3])
+        assert grants == [0, 1, 1, 1]
+
+    def test_zero_demand_sessions_never_granted(self):
+        grants = FIFOScheduler().order([0, 2, 0])
+        assert grants == [1, 1]
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ServingError):
+            FIFOScheduler().order([1, -1])
+
+
+class TestRoundRobin:
+    def test_complete_and_deterministic(self):
+        demands = [3, 1, 4]
+        a = RoundRobinScheduler(seed=7).order(demands)
+        b = RoundRobinScheduler(seed=7).order(demands)
+        assert a == b
+        assert counts(a, 3) == demands
+
+    def test_different_seed_different_interleaving(self):
+        demands = [5, 5, 5, 5]
+        orders = {tuple(RoundRobinScheduler(seed=s).order(demands)) for s in range(8)}
+        assert len(orders) > 1
+
+    def test_each_round_grants_each_live_session_once(self):
+        grants = RoundRobinScheduler(seed=3).order([2, 2])
+        assert sorted(grants[:2]) == [0, 1]
+        assert sorted(grants[2:]) == [0, 1]
+
+
+class TestPriority:
+    def test_weighted_bursts(self):
+        grants = PriorityScheduler().order([4, 4], priorities=[3, 1])
+        # Round 1: session 0 × 3, session 1 × 1; round 2: the rest.
+        assert grants == [0, 0, 0, 1, 0, 1, 1, 1]
+
+    def test_no_starvation(self):
+        grants = PriorityScheduler().order([1, 10], priorities=[1, 5])
+        assert counts(grants, 2) == [1, 10]
+        assert 0 in grants[:2]
+
+    def test_default_priorities_are_fair(self):
+        assert PriorityScheduler().order([2, 2]) == [0, 1, 0, 1]
+
+    def test_bad_priorities_rejected(self):
+        with pytest.raises(ServingError):
+            PriorityScheduler().order([1, 1], priorities=[1])
+        with pytest.raises(ServingError):
+            PriorityScheduler().order([1, 1], priorities=[1, 0])
+
+
+class TestMakeScheduler:
+    def test_known_names(self):
+        for name in SCHEDULER_NAMES:
+            assert make_scheduler(name).name == name
+
+    def test_seed_passes_through(self):
+        assert make_scheduler("round-robin", seed=5).seed == 5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ServingError):
+            make_scheduler("lottery")
+
+    def test_bad_kwargs_rejected(self):
+        with pytest.raises(ServingError):
+            make_scheduler("fifo", seed=1)
+
+    def test_every_policy_grants_exactly_the_demands(self):
+        demands = [3, 0, 5, 2]
+        for name in SCHEDULER_NAMES:
+            grants = make_scheduler(name).order(demands, priorities=[2, 1, 3, 1])
+            assert counts(grants, 4) == demands, name
