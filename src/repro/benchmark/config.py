@@ -83,16 +83,31 @@ class BenchmarkConfig:
     #: call traces stay complete and replayable.
     snapshots: bool = True
 
-    #: Trace-driven reclustering policy applied before workload
-    #: replays: "none" (insertion-order placement, the default and the
-    #: paper's regime), "affinity" (greedy co-access chaining) or
-    #: "hotcold" (heat segregation).  Honoured by the workload paths
-    #: (``run_workload``/``run_trace`` and the sweep grid): the model
-    #: first replays the trace unmeasured to collect access statistics,
-    #: rewrites its shared pages into the derived placement, and only
-    #: then runs the measured replay.  The paper's fixed query suites
-    #: ignore this knob — they *are* the insertion-order baseline.
+    #: Reclustering mode applied to workload replays: "none"
+    #: (insertion-order placement, the default and the paper's regime),
+    #: "affinity" (greedy co-access chaining) or "hotcold" (heat
+    #: segregation) — both offline: the model first replays the trace
+    #: unmeasured to collect access statistics, rewrites its shared
+    #: pages into the derived placement, and only then runs the measured
+    #: replay — or "online": no pre-training rewrite at all; an
+    #: :class:`~repro.clustering.online.OnlineRecluster` controller
+    #: watches the measured replay and moves bounded page batches at
+    #: deterministic trigger points (its I/O lands in the counters).
+    #: Honoured by the workload paths (``run_workload``/``run_trace``,
+    #: the serving runs and the sweep grid).  The paper's fixed query
+    #: suites ignore this knob — they *are* the insertion-order
+    #: baseline.
     recluster: str = "none"
+
+    #: Page budget of one online move batch, per shared segment
+    #: (``max_moves_per_trigger`` of the controller).  0 disables moves
+    #: entirely — "online" then runs counter-identically to "none", the
+    #: equivalence the golden parity suite pins.
+    online_move_pages: int = 8
+
+    #: Operations between online-recluster triggers (deterministic:
+    #: derived from operation counts, never wall clock).
+    online_trigger_ops: int = 50
 
     # -- query workload -----------------------------------------------------
 
@@ -134,12 +149,16 @@ class BenchmarkConfig:
             )
         if self.jobs < 1:
             raise BenchmarkError("jobs must be at least 1")
+        if self.online_move_pages < 0:
+            raise BenchmarkError("online_move_pages must be non-negative")
+        if self.online_trigger_ops < 1:
+            raise BenchmarkError("online_trigger_ops must be at least 1")
         # Deferred import: the clustering package reaches back into the
         # benchmark layer (its driver replays workload traces), so a
         # module-level import here would couple the two load orders.
-        from repro.clustering.placement import validate_policy
+        from repro.clustering.placement import validate_mode
 
-        validate_policy(self.recluster)
+        validate_mode(self.recluster)
 
     @property
     def effective_loops(self) -> int:

@@ -194,14 +194,19 @@ class BenchmarkRunner:
         trace to every grid cell; compilation is deterministic, so this
         is purely a cost saving over :meth:`run_workload`.
 
-        With ``config.recluster != "none"`` the model is first
+        With an offline ``config.recluster`` policy the model is first
         reorganised for exactly this trace (training replay → placement
         → rewrite, see :meth:`build_model_for_trace`) and the measured
-        replay runs over the adapted layout.
+        replay runs over the adapted layout.  With ``"online"`` the
+        model starts in insertion order and an
+        :class:`~repro.clustering.online.OnlineRecluster` controller
+        moves bounded page batches *during* the measured replay.
         """
         model = self.build_model_for_trace(name, trace)
         try:
-            return WorkloadExecutor(model, trace).run()
+            return WorkloadExecutor(
+                model, trace, online=self._online_controller(model)
+            ).run()
         finally:
             model.engine.close()
 
@@ -237,25 +242,45 @@ class BenchmarkRunner:
                 traces,
                 scheduler=make_scheduler(scheduler, **kwargs),
                 workers=workers,
+                online=self._online_controller(model),
             )
             return executor.run()
         finally:
             model.engine.close()
 
+    def _online_controller(self, model: StorageModel):
+        """The configured online-recluster controller, or None.
+
+        Built fresh per run — the controller's observation window and
+        move/trigger counters belong to one replay.
+        """
+        if self.config.recluster != "online":
+            return None
+        from repro.clustering.online import OnlineRecluster
+
+        return OnlineRecluster(
+            model,
+            trigger_ops=self.config.online_trigger_ops,
+            max_moves_per_trigger=self.config.online_move_pages,
+        )
+
     def build_model_for_trace(self, name: str, trace: WorkloadTrace) -> StorageModel:
         """A loaded model, reclustered for ``trace`` when configured.
 
-        ``recluster="none"`` is exactly :meth:`build_model`.  Otherwise,
-        with snapshots active, the snapshot store caches the trained and
-        reorganised extension per ``(model, data knobs, policy, trace)``
-        and serves restored clones — the training replay and rewrite
-        happen once per key, not once per sweep cell.  Without
-        snapshots (or under the trace backend) the model is rebuilt and
-        reorganised inline; both paths yield bit-identical pages and
-        counters.
+        ``recluster="none"`` is exactly :meth:`build_model` — and so is
+        ``"online"``: the online mode starts from the untrained
+        insertion-order layout (its controller reorganises *during* the
+        measured replay, so there is nothing to pre-train or cache).
+        For the offline policies, with snapshots active, the snapshot
+        store caches the trained and reorganised extension per
+        ``(model, data knobs, policy, trace)`` and serves restored
+        clones — the training replay and rewrite happen once per key,
+        not once per sweep cell.  Without snapshots (or under the trace
+        backend) the model is rebuilt and reorganised inline; both
+        paths yield bit-identical pages and counters.
         """
         policy = self.config.recluster
-        if policy == "none":
+        if policy in ("none", "online"):
             return self.build_model(name)
         from repro.clustering.recluster import recluster_model
 

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 from repro.errors import BenchmarkError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.clustering.online import OnlineRecluster
     from repro.clustering.stats import AccessStats
 from repro.models.base import StorageModel
 from repro.storage.metrics import MetricsSnapshot, ScaledMetrics
@@ -47,6 +48,14 @@ OP_KINDS = ("point", "navigate", "scan", "update")
 
 #: Recognised skew families.
 SKEWS = ("uniform", "zipf")
+
+#: Recognised drift schedules of the hot window (DOEF-style dynamic
+#: workloads, after Darmont's "Evaluating the Dynamic Behavior of
+#: Database Applications"): "none" keeps the whole extension as the
+#: target population; the others confine each operation's target to a
+#: window of the OID space whose position or size changes every
+#: ``drift_period`` operations.
+DRIFTS = ("none", "step", "rotate", "expand")
 
 
 @dataclass(frozen=True)
@@ -68,6 +77,16 @@ class WorkloadSpec:
     warm: bool = True
     n_ops: int = 200
     seed: int = 1993
+    #: Drift schedule of the hot window ("none" = static targeting over
+    #: the whole extension, the pre-drift behaviour — traces compile
+    #: byte-identically to specs that predate these fields).
+    drift: str = "none"
+    #: Operations per drift phase: the window moves/grows every
+    #: ``drift_period`` operations (ignored when ``drift == "none"``).
+    drift_period: int = 50
+    #: Fraction of the OID space inside the hot window (ignored when
+    #: ``drift == "none"``); the skew applies *within* the window.
+    hot_fraction: float = 0.1
 
     def __post_init__(self) -> None:
         weights = self.mix()
@@ -85,6 +104,14 @@ class WorkloadSpec:
             raise BenchmarkError("n_ops must be at least 1")
         if not self.name:
             raise BenchmarkError("workload name must be non-empty")
+        if self.drift not in DRIFTS:
+            raise BenchmarkError(
+                f"unknown drift {self.drift!r} (known: {', '.join(DRIFTS)})"
+            )
+        if self.drift_period < 1:
+            raise BenchmarkError("drift_period must be at least 1")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise BenchmarkError("hot_fraction must be within (0, 1]")
 
     def mix(self) -> dict[str, float]:
         """Operation-kind weights keyed by :data:`OP_KINDS` entry."""
@@ -104,7 +131,15 @@ class WorkloadSpec:
         mix = "/".join(f"{kind}:{w:g}" for kind, w in self.mix().items() if w > 0)
         skew = self.skew if self.skew != "zipf" else f"zipf({self.zipf_theta:g})"
         regime = "warm" if self.warm else "cold"
-        return f"{self.name}: {mix}, {skew}, {regime}, {self.n_ops} ops, seed {self.seed}"
+        text = f"{self.name}: {mix}, {skew}, {regime}, {self.n_ops} ops, seed {self.seed}"
+        if self.drift != "none":
+            # Appended only for drifting specs, so static specs keep
+            # describing themselves byte-for-byte as before the axis.
+            text += (
+                f", drift {self.drift}"
+                f"(period={self.drift_period}, window={self.hot_fraction:g})"
+            )
+        return text
 
 
 @dataclass(frozen=True)
@@ -155,12 +190,70 @@ class _ZipfSampler:
         return rank if rank <= self._max_rank else self._max_rank
 
 
+def hot_window(spec: WorkloadSpec, n_objects: int, index: int) -> tuple[int, int]:
+    """``(start, size)`` of the hot OID window governing operation ``index``.
+
+    A pure function of the spec and the operation index — the drift
+    schedule is part of the *trace*, not of execution, so any consumer
+    (tests, the drift experiment, an online reclusterer) can recompute
+    exactly which window any operation targeted.
+
+    * ``step`` — the window jumps by its own size every phase, the
+      abrupt locality change of DOEF's moving hot spot;
+    * ``rotate`` — the window slides by half its size every phase, so
+      consecutive phases overlap (gradual drift);
+    * ``expand`` — the window grows by its base size every phase from
+      the start of the OID space (the hot set dilutes over time);
+    * ``none`` — the whole extension, always.
+    """
+    if spec.drift == "none":
+        return 0, n_objects
+    base = min(n_objects, max(1, round(n_objects * spec.hot_fraction)))
+    phase = index // spec.drift_period
+    if spec.drift == "step":
+        return (phase * base) % n_objects, base
+    if spec.drift == "rotate":
+        return (phase * max(1, base // 2)) % n_objects, base
+    # expand
+    return 0, min(n_objects, base * (phase + 1))
+
+
+def drift_permutation(spec: WorkloadSpec, n_objects: int) -> list[int]:
+    """The seeded OID shuffle a drifting spec's windows live in.
+
+    :func:`hot_window` schedules windows over *positions*; the compiler
+    maps each position through this permutation to an OID.  Without it
+    a window of ``size`` consecutive positions would be ``size``
+    consecutive OIDs — which insertion-order placement already stores
+    contiguously, so drift could never hurt the baseline and
+    reclustering would have nothing to win.  DOEF's hot regions are
+    sets of objects with no storage adjacency; the shuffle reproduces
+    that: each window is ``size`` objects scattered over the extension,
+    and only a reorganisation can make them page-neighbours.
+
+    Deterministic per ``(seed, n_objects)`` and drawn from a private
+    RNG, so the operation stream's draw sequence is untouched.
+    """
+    perm = list(range(n_objects))
+    random.Random(f"drift-perm-{spec.seed}").shuffle(perm)
+    return perm
+
+
 def compile_trace(spec: WorkloadSpec, n_objects: int) -> WorkloadTrace:
     """Compile a spec into a deterministic operation trace.
 
     The same ``(spec, n_objects)`` pair always yields the identical
     trace, so sweeps can replay one access pattern against every
     storage model and buffer configuration.
+
+    With a drifting spec each targeted operation draws its rank from
+    the skew *within* the operation's :func:`hot_window` and maps the
+    position ``(start + rank) % n_objects`` through the spec's
+    :func:`drift_permutation` — the window is a *scattered* object set,
+    not an OID range (see there).  Both paths consume exactly one RNG
+    draw per targeted operation, and the ``drift == "none"`` path is
+    the untouched pre-drift loop, so static specs compile byte-for-byte
+    identically to traces produced before the drift axes existed.
     """
     if n_objects < 1:
         raise BenchmarkError("cannot compile a workload for an empty extension")
@@ -168,9 +261,30 @@ def compile_trace(spec: WorkloadSpec, n_objects: int) -> WorkloadTrace:
     mix = spec.mix()
     kinds = [k for k, w in mix.items() if w > 0]
     weights = [mix[k] for k in kinds]
-    zipf = _ZipfSampler(n_objects, spec.zipf_theta) if spec.skew == "zipf" else None
     ops: list[Operation] = []
     append = ops.append
+    if spec.drift != "none":
+        # One Zipf sampler per distinct window size (the CDF depends
+        # only on the size, and expand grows it phase by phase).
+        samplers: dict[int, _ZipfSampler] = {}
+        perm = drift_permutation(spec, n_objects)
+        for index, kind in enumerate(
+            rng.choices(kinds, weights=weights, k=spec.n_ops)
+        ):
+            if kind == "scan":
+                append(Operation("scan"))
+                continue
+            start, size = hot_window(spec, n_objects, index)
+            if spec.skew == "zipf":
+                sampler = samplers.get(size)
+                if sampler is None:
+                    sampler = samplers[size] = _ZipfSampler(size, spec.zipf_theta)
+                rank = sampler.sample(rng)
+            else:
+                rank = rng.randrange(size)
+            append(Operation(kind, perm[(start + rank) % n_objects]))
+        return WorkloadTrace(spec=spec, n_objects=n_objects, ops=tuple(ops))
+    zipf = _ZipfSampler(n_objects, spec.zipf_theta) if spec.skew == "zipf" else None
     for kind in rng.choices(kinds, weights=weights, k=spec.n_ops):
         if kind == "scan":
             append(Operation("scan"))
@@ -233,6 +347,7 @@ class WorkloadExecutor:
         model: StorageModel,
         trace: WorkloadTrace,
         stats: "AccessStats | None" = None,
+        online: "OnlineRecluster | None" = None,
     ) -> None:
         if trace.n_objects > model.n_objects:
             raise BenchmarkError(
@@ -249,6 +364,12 @@ class WorkloadExecutor:
         #: the metrics of a replay with and without a collector are
         #: identical.
         self.stats = stats
+        #: Optional online-recluster controller.  Fed the same touched
+        #: OIDs as ``stats``, after each operation completes — its
+        #: deterministic triggers then run bounded page-move batches
+        #: *inside* the measured interval (online reorganisation pays
+        #: its I/O where the counters can see it).
+        self.online = online
 
     def run(self) -> WorkloadResult:
         engine = self.engine
@@ -267,6 +388,7 @@ class WorkloadExecutor:
         oid_of = model.oid_of
         restart = engine.restart_buffer
         stats = self.stats
+        online = self.online
         buffer = engine.buffer
         if stats is not None:
             # Registered alongside (not instead of) any other hooks —
@@ -282,20 +404,30 @@ class WorkloadExecutor:
                     point(op.oid)
                     if stats is not None:
                         stats.record_operation((op.oid,))
+                    if online is not None:
+                        online.note_operation((op.oid,))
                 elif kind == "navigate":
                     children, grand = navigate(op.oid)
-                    if stats is not None:
-                        stats.record_operation(
-                            [op.oid, *map(oid_of, children), *map(oid_of, grand)]
-                        )
+                    if stats is not None or online is not None:
+                        touched = [
+                            op.oid, *map(oid_of, children), *map(oid_of, grand)
+                        ]
+                        if stats is not None:
+                            stats.record_operation(touched)
+                        if online is not None:
+                            online.note_operation(touched)
                 elif kind == "scan":
                     scan_all()
                     if stats is not None:
                         stats.record_scan()
+                    if online is not None:
+                        online.note_scan()
                 elif kind == "update":
                     update_roots([ref_of(op.oid)], {"Name": f"workload-{index}"})
                     if stats is not None:
                         stats.record_operation((op.oid,))
+                    if online is not None:
+                        online.note_operation((op.oid,))
                 else:  # pragma: no cover - specs cannot produce unknown kinds
                     raise BenchmarkError(f"unknown operation kind {kind!r}")
         finally:
@@ -406,6 +538,9 @@ _KEY_FIELDS = {
     "seed": "seed",
     "name": "name",
     "skew": "skew",
+    "drift": "drift",
+    "period": "drift_period",
+    "window": "hot_fraction",
 }
 
 
@@ -420,7 +555,8 @@ def parse_workload(text: str) -> WorkloadSpec:
     * ``warm`` / ``cold`` — buffer regime;
     * ``key=value`` — ``point=2``, ``navigate=1``, ``scan=0.1``,
       ``update=0.5``, ``theta=1.2``, ``ops=500``, ``seed=7``,
-      ``skew=zipf``, ``name=mine``.
+      ``skew=zipf``, ``name=mine``, ``drift=step``, ``period=40``,
+      ``window=0.1``.
 
     Example: ``"zipf(1.2),point=3,update=1,ops=400,cold"``.
 
@@ -462,10 +598,10 @@ def parse_workload(text: str) -> WorkloadSpec:
                         f"(known: {', '.join(_KEY_FIELDS)})"
                     ) from None
                 value = value.strip()
-                if fname in ("name", "skew"):
+                if fname in ("name", "skew", "drift"):
                     spec = spec.with_changes(**{fname: value})
                     named = named or fname == "name"
-                elif fname in ("n_ops", "seed"):
+                elif fname in ("n_ops", "seed", "drift_period"):
                     spec = spec.with_changes(**{fname: int(value)})
                 else:
                     spec = spec.with_changes(**{fname: float(value)})

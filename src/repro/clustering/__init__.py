@@ -14,15 +14,21 @@ order, and rewrite the extension in place while preserving record ids.
   chaining) and ``hotcold`` (heat segregation) policies;
 * :mod:`repro.clustering.recluster` — the train-then-rewrite driver
   used by the benchmark runner, the sweep's ``--recluster`` axis and
-  the ``clustering`` experiment.
+  the ``clustering`` experiment;
+* :mod:`repro.clustering.online` — the incremental controller behind
+  ``--recluster online``: windowed stats, deterministic triggers,
+  bounded page-move batches under live (possibly drifting) traffic.
 """
 
+from repro.clustering.online import OnlineRecluster
 from repro.clustering.placement import (
+    RECLUSTER_MODES,
     RECLUSTER_POLICIES,
     affinity_order,
     hotcold_order,
     is_permutation,
     placement_order,
+    validate_mode,
     validate_policy,
 )
 from repro.clustering.recluster import collect_stats, recluster_model
@@ -30,6 +36,8 @@ from repro.clustering.stats import AccessStats, TraceStats, trace_stats
 
 __all__ = [
     "AccessStats",
+    "OnlineRecluster",
+    "RECLUSTER_MODES",
     "RECLUSTER_POLICIES",
     "TraceStats",
     "affinity_order",
@@ -39,5 +47,6 @@ __all__ = [
     "placement_order",
     "recluster_model",
     "trace_stats",
+    "validate_mode",
     "validate_policy",
 ]

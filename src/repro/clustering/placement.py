@@ -26,16 +26,34 @@ from typing import Sequence
 from repro.errors import BenchmarkError
 from repro.clustering.stats import AccessStats
 
-#: Recognised placement policies (the ``--recluster`` axis).
+#: Recognised placement policies (offline train-then-rewrite layouts).
 RECLUSTER_POLICIES = ("none", "affinity", "hotcold")
+
+#: Recognised ``--recluster`` axis values.  The offline policies above
+#: plus ``online``, which is a *mode*, not a placement: no pre-training
+#: rewrite happens — an :class:`~repro.clustering.online.OnlineRecluster`
+#: controller moves bounded page batches while the workload runs.  It is
+#: deliberately excluded from :data:`RECLUSTER_POLICIES` so it can never
+#: be passed where a placement permutation is expected.
+RECLUSTER_MODES = RECLUSTER_POLICIES + ("online",)
 
 
 def validate_policy(name: str) -> str:
-    """Return ``name`` if it is a known policy, else raise."""
+    """Return ``name`` if it is a known placement policy, else raise."""
     if name not in RECLUSTER_POLICIES:
         raise BenchmarkError(
             f"unknown recluster policy {name!r} "
             f"(known: {', '.join(RECLUSTER_POLICIES)})"
+        )
+    return name
+
+
+def validate_mode(name: str) -> str:
+    """Return ``name`` if it is a known recluster mode, else raise."""
+    if name not in RECLUSTER_MODES:
+        raise BenchmarkError(
+            f"unknown recluster mode {name!r} "
+            f"(known: {', '.join(RECLUSTER_MODES)})"
         )
     return name
 

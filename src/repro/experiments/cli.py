@@ -31,12 +31,13 @@ from repro.errors import ReproError
 from repro.models.registry import resolve_models
 from repro.storage.backends import BACKEND_NAMES
 from repro.storage.buffer import POLICY_NAMES
-from repro.clustering.placement import RECLUSTER_POLICIES
+from repro.clustering.placement import RECLUSTER_MODES
 from repro.serving.scheduler import SCHEDULER_NAMES
 from repro.experiments import (
     ablations,
     clustering,
     distribution,
+    drift,
     figure5,
     figure6,
     perf,
@@ -64,6 +65,7 @@ EXPERIMENTS: dict[str, Callable[[BenchmarkConfig], str]] = {
     "ablations": ablations.render,
     "distribution": distribution.render,
     "clustering": clustering.render,
+    "drift": drift.render,
     "sweep": sweep.render,
     "perf": perf.render,
 }
@@ -189,15 +191,17 @@ def main(argv: list[str] | None = None) -> int:
         "--recluster",
         nargs="+",
         default=list(sweep.DEFAULT_RECLUSTERS),
-        metavar="POLICY",
-        choices=RECLUSTER_POLICIES,
+        metavar="MODE",
+        choices=RECLUSTER_MODES,
         help=(
             "trace-driven placement axis of the sweep: 'none' "
             "(insertion order, default), 'affinity' (greedy co-access "
-            "chaining) and/or 'hotcold' (heat segregation); reclustered "
-            "cells train on the cell's own trace, rewrite the shared "
-            "pages, then replay measured (with only 'none' the output "
-            "is byte-identical to a sweep without the axis)"
+            "chaining), 'hotcold' (heat segregation) and/or 'online' "
+            "(no pre-training: bounded page-move batches during the "
+            "measured replay, their I/O landing in the counters); "
+            "offline cells train on the cell's own trace, rewrite the "
+            "shared pages, then replay measured (with only 'none' the "
+            "output is byte-identical to a sweep without the axis)"
         ),
     )
     group.add_argument(

@@ -98,6 +98,26 @@ PERF_SERVING_WORKLOAD = "uniform,ops=25,seed=11"
 PERF_SERVING_CLIENTS = 8
 PERF_SERVING_WORKERS = 2
 
+#: The online-recluster benchmark: a drifting point/update trace
+#: replayed under a live :class:`~repro.clustering.online.OnlineRecluster`
+#: controller on a pressured buffer — the whole drift machinery on the
+#: timed path (window bookkeeping, trigger scheduling, bounded page
+#: moves, rid forwarding).  The checksum covers the final counters, so
+#: any change to the move path, the trigger arithmetic or the drift
+#: trace compiler shows up as drift.
+PERF_DRIFT_CONFIG = BenchmarkConfig(
+    n_objects=120,
+    buffer_pages=24,
+    max_sightseeing=0,
+    recluster="online",
+    online_trigger_ops=20,
+    online_move_pages=8,
+)
+PERF_DRIFT_WORKLOAD = (
+    "name=drift-step,point=8,navigate=0,scan=0,update=2,ops=360,"
+    "seed=1993,drift=step,period=60,window=0.1"
+)
+
 DEFAULT_REPEATS = 5
 
 
@@ -523,6 +543,44 @@ def _bench_serving(repeats: int) -> BenchResult:
     )
 
 
+def _bench_drift_online(repeats: int) -> BenchResult:
+    """Online reclustering under drift: the whole controller on the meter.
+
+    Replays a drifting point/update trace with a live
+    :class:`~repro.clustering.online.OnlineRecluster` controller —
+    window bookkeeping, deterministic triggers, bounded page moves and
+    rid forwarding all sit on the timed path.  The checksum covers the
+    replay's full counter snapshot; the drift trace compiler, the
+    trigger arithmetic and the move machinery cannot change a
+    paper-visible quantity without tripping it.
+    """
+    spec = parse_workload(PERF_DRIFT_WORKLOAD)
+    runner = BenchmarkRunner(PERF_DRIFT_CONFIG)
+    trace = compile_trace(spec, PERF_DRIFT_CONFIG.n_objects)
+
+    def replay():
+        return runner.run_trace("NSM+index", trace)
+
+    drift_ms = _best_ms(replay, repeats)
+    raw = replay().raw
+    checksum = _sha(
+        json.dumps(
+            {
+                "read_calls": raw.read_calls,
+                "write_calls": raw.write_calls,
+                "pages_read": raw.pages_read,
+                "pages_written": raw.pages_written,
+                "page_fixes": raw.page_fixes,
+                "buffer_hits": raw.buffer_hits,
+                "buffer_misses": raw.buffer_misses,
+                "evictions": raw.evictions,
+            },
+            sort_keys=True,
+        ).encode()
+    )
+    return BenchResult("drift_online_replay", len(trace.ops), drift_ms, checksum)
+
+
 def run_perf(repeats: int = DEFAULT_REPEATS) -> PerfReport:
     """Run every hot-path benchmark and collect the report."""
     if repeats < 1:
@@ -535,6 +593,7 @@ def run_perf(repeats: int = DEFAULT_REPEATS) -> PerfReport:
     results.append(_bench_sweep_cell(repeats))
     results.append(_bench_sweep_snapshot(repeats))
     results.append(_bench_serving(repeats))
+    results.append(_bench_drift_online(repeats))
     return PerfReport(results=tuple(results), repeats=repeats)
 
 

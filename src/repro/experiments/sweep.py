@@ -39,7 +39,7 @@ from repro.benchmark.workload import (
     compile_trace,
     parse_workload,
 )
-from repro.clustering.placement import validate_policy
+from repro.clustering.placement import validate_mode
 from repro.clustering.stats import trace_stats
 from repro.errors import BenchmarkError
 from repro.models.registry import MEASURED_MODELS, resolve_models
@@ -374,11 +374,13 @@ def run_sweep(
     one extension generation each — they amortise on grids with many
     cells per worker.
 
-    ``reclusters`` crosses placement policies into the grid: each cell
-    runs under its policy's layout (trained on the cell's own trace,
-    see :meth:`~repro.benchmark.runner.BenchmarkRunner.
-    build_model_for_trace`).  The default axis ``("none",)`` keeps the
-    grid — and its output bytes — exactly as before the axis existed.
+    ``reclusters`` crosses recluster modes into the grid: offline
+    policies run under their trained layout (trained on the cell's own
+    trace, see :meth:`~repro.benchmark.runner.BenchmarkRunner.
+    build_model_for_trace`); ``"online"`` cells start in insertion
+    order and reorganise incrementally during the measured replay.  The
+    default axis ``("none",)`` keeps the grid — and its output bytes —
+    exactly as before the axis existed.
 
     ``clients`` crosses concurrent-session counts into the grid.  The
     default axis ``(1,)`` keeps the single-stream replay (and its
@@ -401,10 +403,10 @@ def run_sweep(
             f"(override with a name=... token)"
         )
     model_names = resolve_models(models)
-    recluster_names = tuple(validate_policy(name) for name in reclusters)
+    recluster_names = tuple(validate_mode(name) for name in reclusters)
     if len(set(recluster_names)) != len(recluster_names):
         raise BenchmarkError(
-            f"recluster policies must be unique, got {list(recluster_names)!r}"
+            f"recluster modes must be unique, got {list(recluster_names)!r}"
         )
     client_axis = tuple(int(n) for n in clients)
     if not client_axis or any(n < 1 for n in client_axis):
@@ -460,11 +462,14 @@ def run_sweep(
             # serialises per key, distinct keys overlap, and the base
             # images above are already cached.  Spilling stays in job
             # order so artifact names are deterministic.
+            # Only the offline policies pre-train; "online" cells start
+            # from the base image (their controller reorganises during
+            # the measured replay, nothing to cache).
             recluster_jobs = [
                 (model, recluster, spec)
                 for model in model_names
                 for recluster in recluster_names
-                if recluster != "none"
+                if recluster not in ("none", "online")
                 for spec in specs
             ]
             if recluster_jobs:
@@ -492,7 +497,7 @@ def run_sweep(
             for spec, capacity, policy, model, recluster, n_clients in grid:
                 key = (
                     (model, "none", None)
-                    if recluster == "none"
+                    if recluster in ("none", "online")
                     else (model, recluster, spec.name)
                 )
                 spill_paths[(spec.name, model, recluster)] = (artifacts[key],)
@@ -619,9 +624,11 @@ def render_result(result: SweepResult) -> str:
         )
         if with_recluster:
             note += (
-                "  Reclustered cells train on the cell's own trace "
-                "(unmeasured), rewrite the shared pages, then replay "
-                "measured."
+                "  Offline reclustered cells train on the cell's own "
+                "trace (unmeasured), rewrite the shared pages, then "
+                "replay measured; 'online' cells start in insertion "
+                "order and move bounded page batches during the "
+                "measured replay."
             )
         if with_clients:
             note += (

@@ -136,6 +136,25 @@ class StorageModel(ABC):
         """
         raise self._not_supported("reclustering")
 
+    def move_objects(self, oids: Sequence[int], max_pages: int) -> int:
+        """Relocate the records of ``oids`` so they pack adjacently.
+
+        The *online* sibling of :meth:`recluster`: a bounded, partial
+        reorganisation safe to run between operations of a live
+        workload.  At most ``max_pages`` pages are written **per shared
+        segment**; whatever does not fit the budget stays where it is.
+        All address structures are remapped through the partial
+        forwarding maps, so every reference survives.  Returns the
+        number of pages the move batch wrote.
+
+        The base implementation moves nothing and returns 0 — correct
+        for models with no physical address tables to maintain (plain
+        NSM navigates by key and is placement-invariant at this
+        interface), and it keeps ``--recluster online`` runnable across
+        the whole model grid.
+        """
+        return 0
+
     def _validate_order(self, order: Sequence[int]) -> None:
         # Deferred import: the clustering package's driver replays
         # workload traces, which import this module.

@@ -343,6 +343,48 @@ class DASDBSNSMModel(StorageModel):
         self._table = remapped
         return forwardings
 
+    def move_objects(self, oids: Sequence[int], max_pages: int) -> int:
+        """Bounded online move of the given objects' heap tuples.
+
+        Per store the heap-resident tuples of ``oids`` (in the given
+        order) relocate onto at most ``max_pages`` fresh pages; long
+        tuples stay on their private pages.  The transformation table is
+        remapped through the partial forwarding maps.
+        """
+        if max_pages <= 0 or not oids:
+            return 0
+        stores = self._stores()
+        store_names = ("stations", "platforms", "connections", "sightseeings")
+        wanted = [
+            oid
+            for oid in self._dedupe(oids)
+            if 0 <= oid < len(self._table) and self._table[oid] is not None
+        ]
+        pages = 0
+        forwardings: dict[str, dict] = {}
+        for index, name in enumerate(store_names):
+            rids = [
+                self._table[oid][index][1]
+                for oid in wanted
+                if self._table[oid][index][0] == "heap"
+            ]
+            forwarding = stores[name].move_heap_records(rids, max_pages)
+            forwardings[name] = forwarding
+            pages += len({rid.page_id for rid in forwarding.values()})
+        if any(forwardings.values()):
+            self._table = [
+                None
+                if entry is None
+                else tuple(
+                    ("heap", forwardings[name].get(address, address))
+                    if kind == "heap"
+                    else (kind, address)
+                    for name, (kind, address) in zip(store_names, entry)
+                )
+                for entry in self._table
+            ]
+        return pages
+
     # -- snapshot state -------------------------------------------------------------------
 
     def _stores(self) -> dict[str, MixedTupleStore]:

@@ -108,6 +108,31 @@ class DirectModelBase(StorageModel):
             ]
         return {"heap": forwarding}
 
+    def move_objects(self, oids: Sequence[int], max_pages: int) -> int:
+        """Bounded online move of the given small objects' records.
+
+        Large objects own their pages privately and never move (same
+        rule as :meth:`recluster`); small ones are packed together onto
+        at most ``max_pages`` fresh pages, and the handle table is
+        remapped through the partial forwarding map.
+        """
+        if max_pages <= 0 or not oids:
+            return 0
+        rids = []
+        for oid in self._dedupe(oids):
+            if 0 <= oid < len(self._handles) and self._handles[oid][0] == "heap":
+                rids.append(self._handles[oid][1])
+        forwarding = self.heap.move_records(rids, max_pages)
+        if not forwarding:
+            return 0
+        self._handles = [
+            ("heap", forwarding.get(handle, handle))
+            if kind == "heap"
+            else (kind, handle)
+            for kind, handle in self._handles
+        ]
+        return len({rid.page_id for rid in forwarding.values()})
+
     # -- snapshot state -------------------------------------------------------
 
     def capture_state(self) -> dict:

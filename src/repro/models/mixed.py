@@ -140,6 +140,23 @@ class MixedTupleStore:
             ]
         return forwarding
 
+    def move_heap_records(self, rids: list[Rid], max_pages: int) -> dict[Rid, Rid]:
+        """Bounded online move of heap records; long tuples never move.
+
+        Delegates to :meth:`HeapFile.move_records` and remaps the handle
+        table through the partial forwarding map, which is returned for
+        callers holding their own handles.
+        """
+        forwarding = self.heap.move_records(rids, max_pages)
+        if forwarding:
+            self._handles = [
+                ("heap", forwarding.get(address, address))
+                if kind == "heap"
+                else (kind, address)
+                for kind, address in self._handles
+            ]
+        return forwarding
+
     # -- snapshot state -----------------------------------------------------------
 
     def capture_state(self) -> dict:

@@ -521,6 +521,43 @@ class NSMIndexModel(NSMModel):
                 table[key] = [forwarding.get(rid, rid) for rid in rids]
         return forwardings
 
+    def move_objects(self, oids: Sequence[int], max_pages: int) -> int:
+        """Bounded online move: pack the given objects' tuples together.
+
+        For each relation the records of ``oids`` (in the given order)
+        are relocated onto at most ``max_pages`` fresh pages via
+        :meth:`HeapFile.move_records`, and the index is remapped through
+        the partial forwarding maps.  Objects whose records exceed the
+        budget stay put — the next trigger gets another chance.
+        """
+        if max_pages <= 0 or not oids:
+            return 0
+        keys = [key_of_oid(oid) for oid in self._dedupe(oids)]
+        pages = 0
+        forwarding = self.stations.move_records(
+            [self._station_rid[k] for k in keys if k in self._station_rid],
+            max_pages,
+        )
+        if forwarding:
+            self._station_rid = {
+                key: forwarding.get(rid, rid)
+                for key, rid in self._station_rid.items()
+            }
+            pages += len({rid.page_id for rid in forwarding.values()})
+        for heap, table in (
+            (self.platforms, self._platform_rids),
+            (self.connections, self._connection_rids),
+            (self.sightseeings, self._sightseeing_rids),
+        ):
+            forwarding = heap.move_records(
+                [rid for k in keys for rid in table.get(k, ())], max_pages
+            )
+            if forwarding:
+                for key, rids in table.items():
+                    table[key] = [forwarding.get(rid, rid) for rid in rids]
+                pages += len({rid.page_id for rid in forwarding.values()})
+        return pages
+
     # -- snapshot state ----------------------------------------------------------
 
     def capture_state(self) -> dict:

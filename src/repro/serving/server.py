@@ -55,6 +55,12 @@ from repro.benchmark.workload import (
 )
 from repro.errors import ServingError
 from repro.models.base import StorageModel
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.clustering.online import OnlineRecluster
+    from repro.clustering.stats import AccessStats
 from repro.serving.scheduler import RoundRobinScheduler, Scheduler
 from repro.serving.session import Session
 from repro.storage.disk import DiskGeometry
@@ -168,6 +174,8 @@ class ServingExecutor:
         max_in_flight: int | None = None,
         priorities: Sequence[int] | None = None,
         service_model: ServiceTimeModel | None = None,
+        stats: "AccessStats | None" = None,
+        online: "OnlineRecluster | None" = None,
     ) -> None:
         if not traces:
             raise ServingError("at least one client trace is required")
@@ -193,6 +201,20 @@ class ServingExecutor:
             Session(i, trace, priority=(priorities[i] if priorities else 1))
             for i, trace in enumerate(traces)
         ]
+        #: Optional clustering statistics collector.  Fed exactly like
+        #: the single-stream executor feeds it: its ``page_fixed`` hook
+        #: joins the buffer's fix listeners *alongside* the serving
+        #: layer's own ``_fix_observed`` (the multi-listener hook exists
+        #: precisely so neither displaces the other), and every granted
+        #: operation reports its touched OIDs.  Recording happens inside
+        #: the ticket-serialised section, so collected statistics are
+        #: identical across worker counts.
+        self.stats = stats
+        #: Optional online-recluster controller, fed after each granted
+        #: operation completes (outside any session's fix attribution):
+        #: its deterministic triggers run bounded page-move batches
+        #: between operations, when no session holds page fixes.
+        self.online = online
         # Replay state (reset per run).
         self._clock_ms = 0.0
         self._global_index = 0
@@ -247,6 +269,8 @@ class ServingExecutor:
             session.ready_at_ms = 0.0
         plan = self._plan()
         engine.buffer.add_fix_listener(self._fix_observed)
+        if self.stats is not None:
+            engine.buffer.add_fix_listener(self.stats.page_fixed)
         try:
             if self.workers == 1:
                 for session in plan:
@@ -254,6 +278,8 @@ class ServingExecutor:
             else:
                 self._run_ticketed(plan)
         finally:
+            if self.stats is not None:
+                engine.buffer.remove_fix_listener(self.stats.page_fixed)
             engine.buffer.remove_fix_listener(self._fix_observed)
             self._active = None
         engine.flush()
@@ -332,7 +358,7 @@ class ServingExecutor:
         fixes_before = metrics.page_fixes
         self._active = session
         try:
-            self._execute_op(op, index)
+            touched = self._execute_op(op, index)
         finally:
             self._active = None
         service_ms = self.service_model.op_ms(
@@ -351,9 +377,29 @@ class ServingExecutor:
         counters.service_ms += service_ms
         counters.latencies_ms.append(completion_ms - session.ready_at_ms)
         session.ready_at_ms = completion_ms
+        # Observers run after the operation's own accounting closed and
+        # with no active session, so a triggered move batch attributes
+        # its fixes to no session and no service time — the "background"
+        # half of online reclustering.  Still inside the ticket-
+        # serialised section: deterministic across worker counts.
+        if self.stats is not None:
+            if touched is None:
+                self.stats.record_scan()
+            else:
+                self.stats.record_operation(touched)
+        if self.online is not None:
+            if touched is None:
+                self.online.note_scan()
+            else:
+                self.online.note_operation(touched)
 
-    def _execute_op(self, op, index: int) -> None:
-        """One operation, with exactly the single-stream semantics."""
+    def _execute_op(self, op, index: int) -> list[int] | tuple[int, ...] | None:
+        """One operation, with exactly the single-stream semantics.
+
+        Returns the touched OIDs in the single-stream executor's
+        reporting order (root, children, grand-children), or ``None``
+        for a full scan — the shape the stats/online observers consume.
+        """
         model = self.model
         kind = op.kind
         if kind == "point":
@@ -361,6 +407,7 @@ class ServingExecutor:
                 model.fetch_full(model.ref_of(op.oid))
             else:
                 model.fetch_full_by_key(model.key_of(op.oid))
+            return (op.oid,)
         elif kind == "navigate":
             root_ref = model.ref_of(op.oid)
             model.fetch_roots([root_ref])
@@ -368,10 +415,14 @@ class ServingExecutor:
             grand = model._dedupe(model.fetch_refs(children)) if children else []
             if grand:
                 model.fetch_roots(grand)
+            oid_of = model.oid_of
+            return [op.oid, *map(oid_of, children), *map(oid_of, grand)]
         elif kind == "scan":
             model.scan_all()
+            return None
         elif kind == "update":
             model.update_roots([model.ref_of(op.oid)], {"Name": f"workload-{index}"})
+            return (op.oid,)
         else:  # pragma: no cover - specs cannot produce unknown kinds
             raise ServingError(f"unknown operation kind {kind!r}")
 

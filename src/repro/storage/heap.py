@@ -24,6 +24,14 @@ class HeapFile:
         self.segment = segment
         self.buffer = segment.buffer
         self.page_size = segment.disk.page_size
+        #: Last destination page of :meth:`move_records`, reused by the
+        #: next batch while it has room.  Online reclustering moves many
+        #: *small* batches; without the shared tail every batch would
+        #: open a fresh page per segment and a 3-record batch would own
+        #: a whole page — fragmenting the hot region the moves are
+        #: trying to build.  With it, successive batches pack back to
+        #: back exactly like one big recluster rewrite.
+        self._move_tail: int | None = None
 
     # -- writing ---------------------------------------------------------------
 
@@ -127,6 +135,88 @@ class HeapFile:
         if page_id is not None:
             self.buffer.unfix(page_id, dirty=True)
         self.segment.release_pages(old_pages)
+        self._move_tail = None
+        return forwarding
+
+    def move_records(self, rids: list[Rid], max_pages: int) -> dict[Rid, Rid]:
+        """Move ``rids`` onto at most ``max_pages`` freshly allocated pages.
+
+        The *bounded* sibling of :meth:`recluster`, built for online
+        reorganisation under live traffic: instead of rewriting the
+        whole heap it relocates just the given records — adjacent
+        entries share destination pages, exactly like recluster — and
+        **stops** once the page budget is spent, leaving the remaining
+        records where they are.  Source pages that end up empty are
+        freed.  Returns the same ``{old_rid: new_rid}`` forwarding shape
+        as :meth:`recluster`; it is deliberately *partial* (only moved
+        records appear), so callers remap with ``forwarding.get(rid,
+        rid)`` exactly as they already do for the full rewrite.
+
+        Moves go through the ordinary buffer paths (source reads charge
+        fixes, destinations start dirty), so a move that runs inside a
+        measured interval shows up in the counters — that is the online
+        reclusterer's honest cost accounting, not an accident.  All
+        pages must be unfixed at entry (the serving layer's grant
+        protocol guarantees trigger points sit between operations).
+        """
+        if max_pages <= 0 or not rids:
+            return {}
+        if len(set(rids)) != len(rids):
+            raise StorageError("move_records rids must be distinct")
+        for rid in rids:
+            self._require_page(rid.page_id)
+        forwarding: dict[Rid, Rid] = {}
+        # Resume on the previous batch's unfilled destination (free
+        # against the page budget — it was already paid for).  The fix
+        # goes through the ordinary buffer path, so re-reading an
+        # evicted tail is charged like any other access.
+        dest: int | None = None
+        dest_dirty = False
+        if self._move_tail is not None and self._move_tail in self.segment:
+            dest = self._move_tail
+            self.buffer.fix(dest)
+        pages_used = 0
+        for rid in rids:
+            page = self.buffer.fix_view(rid.page_id)
+            try:
+                record = page.read(rid.slot)
+            finally:
+                self.buffer.unfix(rid.page_id)
+            slot = -1
+            if dest is not None:
+                try:
+                    slot = self.buffer.view_of(dest).insert(record)
+                except PageOverflowError:
+                    self.buffer.unfix(dest, dirty=dest_dirty)
+                    dest = None
+                    dest_dirty = False
+            if dest is None:
+                if pages_used >= max_pages:
+                    break
+                dest = self.segment.allocate_page()
+                pages_used += 1
+                slot = self.buffer.view_of(dest).insert(record)
+            dest_dirty = True
+            source = self.buffer.fix_view(rid.page_id)
+            try:
+                source.delete(rid.slot)
+            finally:
+                self.buffer.unfix(rid.page_id, dirty=True)
+            forwarding[rid] = Rid(dest, slot)
+        if dest is not None:
+            self.buffer.unfix(dest, dirty=dest_dirty)
+            self._move_tail = dest
+        emptied = []
+        for page_id in sorted({rid.page_id for rid in forwarding}):
+            page = self.buffer.fix_view(page_id)
+            try:
+                live = page.live_records
+            finally:
+                self.buffer.unfix(page_id)
+            if live == 0:
+                emptied.append(page_id)
+        if emptied:
+            self.segment.release_pages(emptied)
         return forwarding
 
     # -- reading -----------------------------------------------------------------
@@ -150,19 +240,35 @@ class HeapFile:
         the page buffers.  Callers must decode each record immediately
         (the models deserialise on the spot); the views alias live
         buffer frames and go stale at the next mutation of their page.
+
+        A record set spanning more distinct pages than the buffer has
+        frames cannot be pinned all at once; it is served in page
+        chunks of the buffer's capacity instead — one I/O call per
+        chunk, the minimum a buffer that small can honestly do.
+        Requests that fit (every pre-existing caller) take the
+        single-call path unchanged.
         """
         unique_pages = list(dict.fromkeys(rid.page_id for rid in rids))
         for page_id in unique_pages:
             self._require_page(page_id)
-        self.buffer.fix_many(unique_pages)
-        try:
-            views = {
-                page_id: self.buffer.view_of(page_id) for page_id in unique_pages
-            }
-            return [views[rid.page_id].read_view(rid.slot) for rid in rids]
-        finally:
-            for page_id in unique_pages:
-                self.buffer.unfix(page_id)
+        if len(unique_pages) <= self.buffer.capacity:
+            chunks = [unique_pages]
+        else:
+            cap = self.buffer.capacity
+            chunks = [
+                unique_pages[start : start + cap]
+                for start in range(0, len(unique_pages), cap)
+            ]
+        views: dict[int, SlottedPage] = {}
+        for chunk in chunks:
+            self.buffer.fix_many(chunk)
+            try:
+                for page_id in chunk:
+                    views[page_id] = self.buffer.view_of(page_id)
+            finally:
+                for page_id in chunk:
+                    self.buffer.unfix(page_id)
+        return [views[rid.page_id].read_view(rid.slot) for rid in rids]
 
     def scan(self) -> Iterator[tuple[Rid, bytes]]:
         """Full scan in page order; each page is fixed exactly once."""

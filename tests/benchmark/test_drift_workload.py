@@ -1,0 +1,161 @@
+"""Properties of the DOEF-style drift axes of the workload compiler.
+
+Three contracts:
+
+* **Determinism** — a drifting spec compiles to the same trace every
+  time; the schedule is part of the trace, not of execution.
+* **Schedule membership** — every targeted operation's OID lies inside
+  the hot window :func:`hot_window` declares for its index, *through*
+  the seeded :func:`drift_permutation` (windows are scattered object
+  sets, not OID ranges).
+* **Byte-compatibility** — specs without drift compile byte-for-byte
+  identically to the traces this repo produced before the drift axes
+  existed, pinned here as digests over the op stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.benchmark.workload import (
+    WorkloadSpec,
+    compile_trace,
+    drift_permutation,
+    hot_window,
+)
+from repro.errors import BenchmarkError
+
+
+def _trace_digest(spec: WorkloadSpec, n_objects: int) -> str:
+    trace = compile_trace(spec, n_objects)
+    text = ";".join(f"{op.kind}:{op.oid}" for op in trace.ops)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+DRIFT_SPECS = [
+    WorkloadSpec(
+        name=f"drift-{kind}",
+        point_weight=0.5,
+        navigate_weight=0.2,
+        scan_weight=0.05,
+        update_weight=0.25,
+        n_ops=200,
+        seed=seed,
+        drift=kind,
+        drift_period=25,
+        hot_fraction=0.1,
+    )
+    for kind in ("step", "rotate", "expand")
+    for seed in (3, 2026)
+]
+
+
+class TestDriftDeterminism:
+    @pytest.mark.parametrize("spec", DRIFT_SPECS, ids=lambda s: f"{s.drift}-{s.seed}")
+    def test_compile_is_reproducible(self, spec):
+        first = compile_trace(spec, 90)
+        second = compile_trace(spec, 90)
+        assert first.ops == second.ops
+
+    def test_seed_changes_the_trace(self):
+        spec = DRIFT_SPECS[0]
+        other = spec.with_changes(seed=spec.seed + 1)
+        assert compile_trace(spec, 90).ops != compile_trace(other, 90).ops
+
+    def test_permutation_is_seeded_and_complete(self):
+        spec = DRIFT_SPECS[0]
+        perm = drift_permutation(spec, 90)
+        assert sorted(perm) == list(range(90))
+        assert perm == drift_permutation(spec, 90)
+        assert perm != drift_permutation(spec.with_changes(seed=99), 90)
+
+
+class TestScheduleMembership:
+    @pytest.mark.parametrize("spec", DRIFT_SPECS, ids=lambda s: f"{s.drift}-{s.seed}")
+    def test_targeted_ops_stay_inside_their_window(self, spec):
+        n_objects = 90
+        trace = compile_trace(spec, n_objects)
+        perm = drift_permutation(spec, n_objects)
+        for index, op in enumerate(trace.ops):
+            if op.kind == "scan":
+                continue
+            start, size = hot_window(spec, n_objects, index)
+            members = {
+                perm[(start + rank) % n_objects] for rank in range(size)
+            }
+            assert op.oid in members, (
+                f"op {index} ({op.kind}) targets {op.oid}, outside the "
+                f"{spec.drift} window at {start}+{size}"
+            )
+
+    def test_expand_window_eventually_covers_everything(self):
+        spec = DRIFT_SPECS[-1].with_changes(n_ops=600)
+        start, size = hot_window(spec, 90, spec.n_ops - 1)
+        assert (start, size) == (0, 90)
+
+    def test_static_window_is_the_whole_extension(self):
+        assert hot_window(WorkloadSpec(), 90, 0) == (0, 90)
+
+
+class TestSpecValidation:
+    def test_unknown_drift_rejected(self):
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec(drift="wander")
+
+    def test_bad_period_and_fraction_rejected(self):
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec(drift="step", drift_period=0)
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec(drift="step", hot_fraction=0.0)
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec(drift="step", hot_fraction=1.5)
+
+
+class TestPreDriftByteCompatibility:
+    """Static specs must compile exactly as before the drift axes."""
+
+    GOLDEN = [
+        (
+            WorkloadSpec(),
+            120,
+            "4eb19a80b1966cf6b2e2f12cdbd6410f7d0d58b19f0f4c52c61f58d3c11fc9b7",
+        ),
+        (
+            WorkloadSpec(name="zipf(1)", skew="zipf", zipf_theta=1.0),
+            120,
+            "23f50485d81a1f115f580661d5565fbe1de684037c26b302c351d9ab95b0adf4",
+        ),
+        (
+            WorkloadSpec(
+                name="nav",
+                point_weight=0.3,
+                navigate_weight=0.55,
+                scan_weight=0.0,
+                update_weight=0.15,
+                n_ops=240,
+                seed=2026,
+                skew="zipf",
+                zipf_theta=1.4,
+            ),
+            300,
+            "87a33334b5e77b542499586dac499db45e7fcb9301db5ec0f339d8e958b98bd5",
+        ),
+        (
+            WorkloadSpec(name="uni77", seed=77, n_ops=64),
+            60,
+            "b224eef5a8e7201535de1b191954b930bdb15a56fed0e4937a38bf9fc5355dc6",
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "spec, n_objects, digest", GOLDEN, ids=lambda v: v if isinstance(v, str) else None
+    )
+    def test_golden_digest(self, spec, n_objects, digest):
+        assert _trace_digest(spec, n_objects) == digest
+
+    def test_drifting_spec_actually_changes_the_trace(self):
+        spec = WorkloadSpec(name="uni77", seed=77, n_ops=64)
+        drifted = spec.with_changes(drift="step", drift_period=8, hot_fraction=0.1)
+        assert _trace_digest(spec, 60) != _trace_digest(drifted, 60)

@@ -157,6 +157,7 @@ class TestCLI:
             "ablations",
             "distribution",
             "clustering",
+            "drift",
             "sweep",
             "perf",
         }

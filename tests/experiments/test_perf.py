@@ -20,6 +20,7 @@ BENCH_NAMES = {
     "sweep_cell",
     "sweep_cell_snapshot",
     "serving_closed_loop",
+    "drift_online_replay",
 }
 
 

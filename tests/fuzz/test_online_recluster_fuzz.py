@@ -1,0 +1,156 @@
+"""Online-move fuzzer: bounded page moves interleaved with live traffic.
+
+Two layers, both seeded and deterministic (see ``conftest.py``):
+
+* **Heap level** — a seeded interleaving of reads, updates and
+  :meth:`HeapFile.move_records` batches against a shadow byte model.
+  After every move the forwarding map is folded into the shadow's rid
+  table, and every access goes through the folded rids — so a stale
+  forward, a lost record or a corrupted byte surfaces immediately, and
+  the final physical contents must equal the shadow exactly.
+
+* **Model level** — the same drifted trace replays once with a live
+  :class:`OnlineRecluster` controller and once without; the *logical*
+  database (every object under every read path) must come out
+  identical, because online reclustering moves bytes and never data.
+  Replaying the online run twice must also reproduce every counter —
+  the determinism the serving CI gate assumes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.generator import generate_stations
+from repro.benchmark.workload import (
+    WorkloadExecutor,
+    WorkloadSpec,
+    compile_trace,
+)
+from repro.clustering.online import OnlineRecluster
+from repro.storage import StorageEngine
+from tests.conftest import build_loaded_model
+
+#: Heap-level knobs: enough records to span many pages, a buffer small
+#: enough to force eviction during moves, short records so pages hold
+#: several each.
+N_RECORDS = 80
+STEPS = 250
+BUFFER_PAGES = 8
+
+
+def _record_bytes(rng: random.Random, token: int) -> bytes:
+    return token.to_bytes(4, "little") + bytes(
+        rng.randrange(256) for _ in range(rng.randint(8, 120))
+    )
+
+
+def test_heap_moves_against_shadow_model(fuzz_seed):
+    rng = random.Random(fuzz_seed)
+    engine = StorageEngine(buffer_pages=BUFFER_PAGES)
+    heap = engine.new_heap("movefuzz")
+
+    shadow = {}  # logical id -> bytes the heap must return
+    rids = {}  # logical id -> current rid (folded through forwarding)
+    token = 0
+    for logical in range(N_RECORDS):
+        shadow[logical] = _record_bytes(rng, token)
+        rids[logical] = heap.insert(shadow[logical])
+        token += 1
+
+    for _ in range(STEPS):
+        op = rng.choice(("read", "read", "update", "move"))
+        if op == "read":
+            logical = rng.randrange(N_RECORDS)
+            assert heap.read(rids[logical]) == shadow[logical]
+        elif op == "update":
+            logical = rng.randrange(N_RECORDS)
+            # Same length: in-place update never relocates the record.
+            blob = shadow[logical]
+            replacement = token.to_bytes(4, "little") + bytes(
+                rng.randrange(256) for _ in range(len(blob) - 4)
+            )
+            token += 1
+            heap.update(rids[logical], replacement)
+            shadow[logical] = replacement
+        else:
+            logicals = rng.sample(range(N_RECORDS), rng.randint(1, 12))
+            batch = [rids[logical] for logical in logicals]
+            forwarding = heap.move_records(batch, rng.randint(1, 4))
+            # The budget may stop the batch early, but whatever moved
+            # must resolve: fold the partial map and read through it.
+            assert set(forwarding) <= set(batch)
+            for logical in logicals:
+                rids[logical] = forwarding.get(rids[logical], rids[logical])
+                assert heap.read(rids[logical]) == shadow[logical]
+
+    # No bytes lost, none invented: physical contents == shadow.
+    assert heap.count_records() == N_RECORDS
+    stored = sorted(bytes(record) for _, record in heap.scan())
+    assert stored == sorted(shadow.values())
+    for logical in range(N_RECORDS):
+        assert heap.read(rids[logical]) == shadow[logical]
+    engine.close()
+
+
+#: Model-level knobs: a small extension under a drifting trace whose
+#: phases force several move batches through every shared segment.
+MODEL_CONFIG = BenchmarkConfig(n_objects=36, buffer_pages=64)
+MODEL_NAMES = ("NSM+index", "DASDBS-NSM")
+
+
+def _drift_trace(fuzz_seed):
+    spec = WorkloadSpec(
+        name="fuzz-drift",
+        point_weight=0.5,
+        navigate_weight=0.3,
+        scan_weight=0.0,
+        update_weight=0.2,
+        n_ops=120,
+        seed=fuzz_seed,
+        drift=random.Random(fuzz_seed).choice(("step", "rotate", "expand")),
+        drift_period=20,
+        hot_fraction=0.2,
+    )
+    return compile_trace(spec, MODEL_CONFIG.n_objects)
+
+
+def _run_online(model_name, stations, trace):
+    model = build_loaded_model(model_name, stations, buffer_pages=MODEL_CONFIG.buffer_pages)
+    online = OnlineRecluster(
+        model, trigger_ops=15, max_moves_per_trigger=4, min_heat=1
+    )
+    result = WorkloadExecutor(model, trace, online=online).run()
+    return model, online, result
+
+
+def test_online_run_preserves_logical_contents(fuzz_seed):
+    stations = generate_stations(MODEL_CONFIG.with_changes(seed=fuzz_seed % 97))
+    trace = _drift_trace(fuzz_seed)
+    for model_name in MODEL_NAMES:
+        plain = build_loaded_model(
+            model_name, stations, buffer_pages=MODEL_CONFIG.buffer_pages
+        )
+        WorkloadExecutor(plain, trace).run()
+        moved, online, _ = _run_online(model_name, stations, trace)
+        try:
+            assert online.triggers > 0  # the fuzz must exercise moves
+            refs = moved.all_refs()
+            assert len(refs) == len(plain.all_refs())
+            assert [moved.fetch_full(ref) for ref in refs] == [
+                plain.fetch_full(ref) for ref in plain.all_refs()
+            ]
+            assert moved.scan_all() == plain.scan_all()
+        finally:
+            plain.engine.close()
+            moved.engine.close()
+
+
+def test_online_run_is_deterministic(fuzz_seed):
+    stations = generate_stations(MODEL_CONFIG.with_changes(seed=fuzz_seed % 97))
+    trace = _drift_trace(fuzz_seed)
+    _, first_ctl, first = _run_online("NSM+index", stations, trace)
+    _, second_ctl, second = _run_online("NSM+index", stations, trace)
+    assert first.raw == second.raw
+    assert first_ctl.summary() == second_ctl.summary()

@@ -1,0 +1,87 @@
+"""HeapFile.move_records: the bounded, partial sibling of recluster.
+
+Pins the storage-level contract the online controller builds on:
+partial forwarding, the page budget, emptied-page recycling, and the
+shared move tail that packs successive small batches like one big
+rewrite instead of fragmenting a page per batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import StorageEngine
+
+
+@pytest.fixture
+def heap():
+    engine = StorageEngine(buffer_pages=16)
+    yield engine.new_heap("movetest")
+    engine.close()
+
+
+def _fill(heap, count, size=40):
+    return [heap.insert(bytes([i % 251]) * size) for i in range(count)]
+
+
+class TestBoundedMove:
+    def test_forwarding_is_partial_and_resolves(self, heap):
+        rids = _fill(heap, 30, size=400)  # ~5 records per 2 KB page
+        forwarding = heap.move_records(rids, max_pages=1)
+        assert 0 < len(forwarding) < len(rids)
+        # Every record still readable through the folded map.
+        folded = [forwarding.get(rid, rid) for rid in rids]
+        assert heap.count_records() == 30
+        contents = sorted(heap.read(rid) for rid in folded)
+        assert contents == sorted(bytes([i % 251]) * 400 for i in range(30))
+
+    def test_zero_budget_and_empty_batch_are_no_ops(self, heap):
+        rids = _fill(heap, 5)
+        assert heap.move_records(rids, 0) == {}
+        assert heap.move_records([], 3) == {}
+
+    def test_duplicate_rids_rejected(self, heap):
+        rids = _fill(heap, 5)
+        with pytest.raises(StorageError):
+            heap.move_records([rids[0], rids[0]], 2)
+
+    def test_foreign_page_rejected(self, heap):
+        rids = _fill(heap, 3)
+        from repro.nf2.oid import Rid
+
+        with pytest.raises(StorageError):
+            heap.move_records([Rid(rids[-1].page_id + 999, 0)], 2)
+
+    def test_emptied_source_pages_are_released(self, heap):
+        rids = _fill(heap, 40, size=400)
+        old_pages = set(heap.segment.page_ids)
+        forwarding = heap.move_records(rids, max_pages=len(old_pages) + 2)
+        assert set(forwarding) == set(rids)
+        for page_id in old_pages - set(heap.segment.page_ids):
+            assert not heap.segment.disk.is_allocated(page_id)
+        assert heap.count_records() == 40
+
+
+class TestMoveTail:
+    def test_successive_batches_share_the_tail_page(self, heap):
+        rids = _fill(heap, 20, size=40)  # small: many fit one page
+        first = heap.move_records(rids[:3], max_pages=2)
+        second = heap.move_records(rids[3:6], max_pages=2)
+        first_pages = {rid.page_id for rid in first.values()}
+        second_pages = {rid.page_id for rid in second.values()}
+        # The second batch resumed on the first batch's last page.
+        assert first_pages & second_pages
+        assert heap.count_records() == 20
+
+    def test_recluster_resets_the_tail(self, heap):
+        rids = _fill(heap, 12, size=40)
+        moved = heap.move_records(rids[:3], max_pages=2)
+        folded = [moved.get(rid, rid) for rid in rids]
+        forwarding = heap.recluster(folded)
+        tail_before = {rid.page_id for rid in moved.values()}
+        after = heap.move_records(list(forwarding.values())[:3], max_pages=2)
+        # The rewrite freed the old tail; the next batch must not
+        # resume on a released page.
+        assert not ({rid.page_id for rid in after.values()} & tail_before)
+        assert heap.count_records() == 12
