@@ -109,6 +109,18 @@ class BenchmarkConfig:
     #: derived from operation counts, never wall clock).
     online_trigger_ops: int = 50
 
+    #: Fault-injection spec for the storage stack, as parsed by
+    #: :meth:`repro.fault.plan.FaultPlan.parse` — e.g.
+    #: ``"seed=7,torn=0.05,read=0.1"`` or ``"seed=1,crash_at=120"``.
+    #: "none" (the default) injects nothing and leaves every counter
+    #: and output byte identical to a build without this knob.  When
+    #: set, the runner wraps each engine's backend in a
+    #: :class:`~repro.fault.backend.FaultyBackend`, enables journaling
+    #: and page checksums, arms the plan only around the measured
+    #: workload replay, and disables extension snapshots (a faulted
+    #: build is not reusable).
+    faults: str = "none"
+
     # -- query workload -----------------------------------------------------
 
     #: Loops of queries 2b/3b; None = n_objects // 5 (the paper executes
@@ -159,6 +171,12 @@ class BenchmarkConfig:
         from repro.clustering.placement import validate_mode
 
         validate_mode(self.recluster)
+        # Validate eagerly so a bad spec fails at configuration time,
+        # not deep inside a build.  (Deferred import keeps the fault
+        # package optional for config-only consumers.)
+        from repro.fault.plan import FaultPlan
+
+        FaultPlan.parse(self.faults)
 
     @property
     def effective_loops(self) -> int:

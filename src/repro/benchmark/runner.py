@@ -110,21 +110,56 @@ class BenchmarkRunner:
                 fmt=self.fmt,
                 backend_path=self._backend_path_for(name),
             )
+        backend: str | object = self.config.backend
+        plan = None
+        if self.config.faults != "none":
+            # Fault-injecting stack: the plan-driven wrapper goes
+            # *outside* any trace backend, so recorded traces show the
+            # post-fault reality the engine actually saw.  The plan
+            # starts disarmed — load and reorganisation prep run clean;
+            # run_trace arms it around the measured replay only.
+            from repro.fault.backend import FaultyBackend
+            from repro.fault.plan import FaultPlan
+            from repro.storage.backends import make_backend
+
+            plan = FaultPlan.parse(self.config.faults)
+            backend = FaultyBackend(
+                make_backend(
+                    self.config.backend,
+                    self.config.page_size,
+                    path=self._backend_path_for(name),
+                ),
+                plan,
+            )
         engine = StorageEngine(
             page_size=self.config.page_size,
             buffer_pages=self.config.buffer_pages,
             policy=self.config.policy,
-            backend=self.config.backend,
-            backend_path=self._backend_path_for(name),
+            backend=backend,
+            backend_path=(
+                self._backend_path_for(name) if plan is None else None
+            ),
         )
+        if plan is not None:
+            engine.enable_journaling()
+            engine.enable_checksums()
+            engine.fault_plan = plan
         model = create_model(name, engine, self.fmt)
         model.load(self.stations)
         return model
 
     @property
     def snapshots_active(self) -> bool:
-        """Whether build_model serves snapshot clones (see above)."""
-        return self.config.snapshots and self.config.backend != "trace"
+        """Whether build_model serves snapshot clones (see above).
+
+        A faulted run never snapshots: injected damage (and the
+        journaling/checksum state that heals it) belongs to one build.
+        """
+        return (
+            self.config.snapshots
+            and self.config.backend != "trace"
+            and self.config.faults == "none"
+        )
 
     def _backend_path_for(self, name: str) -> str | None:
         """Per-model backend path under ``config.backend_path``.
@@ -204,9 +239,14 @@ class BenchmarkRunner:
         """
         model = self.build_model_for_trace(name, trace)
         try:
-            return WorkloadExecutor(
-                model, trace, online=self._online_controller(model)
-            ).run()
+            executor = WorkloadExecutor(
+                model,
+                trace,
+                online=self._online_controller(model),
+                retry_limit=self._retry_limit(),
+            )
+            with self._armed(model):
+                return executor.run()
         finally:
             model.engine.close()
 
@@ -244,9 +284,40 @@ class BenchmarkRunner:
                 workers=workers,
                 online=self._online_controller(model),
             )
-            return executor.run()
+            with self._armed(model):
+                return executor.run()
         finally:
             model.engine.close()
+
+    def _retry_limit(self) -> int:
+        """Flat-replay retry budget: on only when faults are injected."""
+        if self.config.faults == "none":
+            return 0
+        from repro.fault.retry import DEFAULT_RETRY_LIMIT
+
+        return DEFAULT_RETRY_LIMIT
+
+    def _armed(self, model: StorageModel):
+        """Context arming the model engine's fault plan, if it has one.
+
+        Faults are injected only inside the measured replay: load and
+        reorganisation prep always run clean, so every faulted run
+        starts from the same well-formed extension.
+        """
+        from contextlib import contextmanager
+
+        @contextmanager
+        def armed():
+            plan = getattr(model.engine, "fault_plan", None)
+            if plan is not None:
+                plan.arm()
+            try:
+                yield
+            finally:
+                if plan is not None:
+                    plan.disarm()
+
+        return armed()
 
     def _online_controller(self, model: StorageModel):
         """The configured online-recluster controller, or None.

@@ -348,6 +348,7 @@ class WorkloadExecutor:
         trace: WorkloadTrace,
         stats: "AccessStats | None" = None,
         online: "OnlineRecluster | None" = None,
+        retry_limit: int = 0,
     ) -> None:
         if trace.n_objects > model.n_objects:
             raise BenchmarkError(
@@ -370,6 +371,32 @@ class WorkloadExecutor:
         #: *inside* the measured interval (online reorganisation pays
         #: its I/O where the counters can see it).
         self.online = online
+        #: Bounded retry of transient injected faults (0 = off, the
+        #: default: the replay loop is byte-for-byte the pre-fault
+        #: loop).  Every operation primitive is idempotent — reads
+        #: obviously, updates because re-applying the same root change
+        #: converges — so a retried operation is safe; retries are
+        #: tallied in :attr:`retries`.  An exhausted budget raises
+        #: :class:`~repro.errors.RetryExhaustedError`: the flat replay
+        #: has no per-session ledger to degrade into, so it fails loud.
+        self.retry_limit = retry_limit
+        self.retries = 0
+
+    def _resilient(self, fn):
+        """Wrap an operation primitive in the bounded retry loop."""
+        from repro.fault.retry import call_with_retries
+        from repro.errors import LatchError, TransientIOError
+
+        def wrapped(*args, **kwargs):
+            result, used = call_with_retries(
+                lambda: fn(*args, **kwargs),
+                limit=self.retry_limit,
+                retry_on=(TransientIOError, LatchError),
+            )
+            self.retries += used
+            return result
+
+        return wrapped
 
     def run(self) -> WorkloadResult:
         engine = self.engine
@@ -390,6 +417,11 @@ class WorkloadExecutor:
         stats = self.stats
         online = self.online
         buffer = engine.buffer
+        if self.retry_limit:
+            point = self._resilient(point)
+            navigate = self._resilient(navigate)
+            scan_all = self._resilient(scan_all)
+            update_roots = self._resilient(update_roots)
         if stats is not None:
             # Registered alongside (not instead of) any other hooks —
             # the serving layer's latch bookkeeping may be listening on

@@ -44,8 +44,50 @@ class LatchError(BufferError_):
     """Session latch-protocol violation (e.g. unfix by a non-holder)."""
 
 
+class StorageFaultError(StorageError):
+    """An injected (or detected) storage-level fault.
+
+    Base class of everything the fault-injection layer raises and of
+    the integrity failures the recovery layer detects (checksum
+    mismatches, torn pages).
+    """
+
+
+class TransientIOError(StorageFaultError):
+    """A retryable I/O failure (injected transient read error).
+
+    The serving layer treats these like ``EIO``-then-fine devices: the
+    operation is retried under a bounded deterministic backoff before
+    the error is surfaced.
+    """
+
+
+class SimulatedCrash(StorageFaultError):
+    """A numbered crash point fired: the process "lost power" here.
+
+    Raised by :class:`~repro.fault.backend.FaultyBackend` when its
+    :class:`~repro.fault.plan.FaultPlan` reaches the armed crash point.
+    Everything volatile (buffer frames, unflushed journal records) is
+    gone; whatever the backend already persisted — including a
+    page-granular prefix of the in-flight write — survives for
+    :meth:`~repro.storage.StorageEngine.recover` to reconcile.
+    """
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent state."""
+
+
+class MetricsError(StorageError):
+    """Invalid use of the I/O accounting layer (bad counter arguments)."""
+
+
 class ServingError(ReproError):
     """Multi-session serving layer misuse or scheduling failure."""
+
+
+class RetryExhaustedError(ServingError):
+    """A bounded retry loop gave up; the last failure is the cause."""
 
 
 class ModelError(ReproError):

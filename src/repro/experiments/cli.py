@@ -139,6 +139,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_false",
         help="rebuild the extension for every model run / sweep cell",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject storage faults into workload replays: 'none' (default, "
+            "byte-identical output to a run without the flag) or a "
+            "comma-joined spec like 'seed=7,torn=0.02,drop=0.02,read=0.1' "
+            "or 'seed=1,crash_at=120'; enables page checksums and the "
+            "intent journal, arms the plan only around measured replays, "
+            "and turns extension snapshots off"
+        ),
+    )
     group = parser.add_argument_group(
         "sweep options", "grid axes of the 'sweep' experiment (ignored elsewhere)"
     )
@@ -303,6 +316,11 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_changes(jobs=args.jobs)
     if args.snapshots is not None:
         config = config.with_changes(snapshots=args.snapshots)
+    if args.faults is not None:
+        try:
+            config = config.with_changes(faults=args.faults)
+        except ReproError as exc:
+            parser.error(str(exc))
 
     if any(capacity < 1 for capacity in args.capacities):
         parser.error("--capacities must be positive page counts")

@@ -118,6 +118,18 @@ PERF_DRIFT_WORKLOAD = (
     "seed=1993,drift=step,period=60,window=0.1"
 )
 
+#: The crash-recovery benchmark: one full crash-consistency cycle on
+#: the timed path — build a journaled extension over a fault-injecting
+#: backend, crash a recluster at a fixed armed backend operation,
+#: recover (journal roll-forward, read-back verification) and remap the
+#: model's address tables.  The checksum covers the recovered root
+#: contents and the recovery report shape, so the journal protocol
+#: cannot silently change what a crash leaves behind.
+PERF_CRASH_CONFIG = BenchmarkConfig(n_objects=36, buffer_pages=64)
+PERF_CRASH_MODEL = "DASDBS-NSM"
+PERF_CRASH_SEED = 7
+PERF_CRASH_AT = 40
+
 DEFAULT_REPEATS = 5
 
 
@@ -581,6 +593,84 @@ def _bench_drift_online(repeats: int) -> BenchResult:
     return BenchResult("drift_online_replay", len(trace.ops), drift_ms, checksum)
 
 
+def _bench_crash_recovery(repeats: int) -> BenchResult:
+    """Crash + journal roll-forward + address-table remap, end to end.
+
+    Each iteration is one whole cycle: load a journaled, checksummed
+    extension over a :class:`~repro.fault.backend.FaultyBackend`, crash
+    a seeded recluster at a fixed armed backend operation, run
+    ``StorageEngine.recover()`` (roll-forward with read-back
+    verification) and ``model.apply_recovery``.  ``n_ops`` is the
+    object count, so ``per_op_us`` tracks recovery cost per object.
+    The checksum covers every recovered root record plus the recovery
+    report shape — deterministic by the fault plan's seeding.
+    """
+    import random
+
+    from repro.errors import SimulatedCrash
+    from repro.fault.backend import FaultyBackend
+    from repro.fault.plan import FaultPlan
+    from repro.models.registry import create_model
+    from repro.storage.backends import MemoryBackend
+
+    stations = generate_stations(PERF_CRASH_CONFIG)
+    order = list(range(PERF_CRASH_CONFIG.n_objects))
+    random.Random(PERF_CRASH_SEED).shuffle(order)
+
+    def cycle():
+        plan = FaultPlan(seed=PERF_CRASH_SEED, crash_at=PERF_CRASH_AT)
+        engine = StorageEngine(
+            page_size=PERF_CRASH_CONFIG.page_size,
+            buffer_pages=PERF_CRASH_CONFIG.buffer_pages,
+            backend=FaultyBackend(
+                MemoryBackend(PERF_CRASH_CONFIG.page_size), plan
+            ),
+        )
+        engine.enable_journaling()
+        engine.enable_checksums()
+        model = create_model(PERF_CRASH_MODEL, engine)
+        model.load(stations)
+        plan.arm()
+        try:
+            model.recluster(order)
+            plan.disarm()
+            report = None
+        except SimulatedCrash:
+            report = engine.recover()
+            model.apply_recovery(report)
+        roots = [model.fetch_roots([ref])[0] for ref in model.all_refs()]
+        return roots, report
+
+    crash_ms = _best_ms(cycle, repeats)
+    roots, report = cycle()
+    checksum = _sha(
+        json.dumps(
+            {
+                "roots": roots,
+                "replayed": None if report is None else list(report.replayed),
+                "rolled_back": (
+                    None if report is None else list(report.rolled_back)
+                ),
+                "forwarded": (
+                    None
+                    if report is None
+                    else {
+                        segment: len(mapping)
+                        for segment, mapping in sorted(
+                            report.forwarding.items()
+                        )
+                    }
+                ),
+            },
+            sort_keys=True,
+            default=str,
+        ).encode()
+    )
+    return BenchResult(
+        "crash_recovery_replay", PERF_CRASH_CONFIG.n_objects, crash_ms, checksum
+    )
+
+
 def run_perf(repeats: int = DEFAULT_REPEATS) -> PerfReport:
     """Run every hot-path benchmark and collect the report."""
     if repeats < 1:
@@ -594,6 +684,7 @@ def run_perf(repeats: int = DEFAULT_REPEATS) -> PerfReport:
     results.append(_bench_sweep_snapshot(repeats))
     results.append(_bench_serving(repeats))
     results.append(_bench_drift_online(repeats))
+    results.append(_bench_crash_recovery(repeats))
     return PerfReport(results=tuple(results), repeats=repeats)
 
 

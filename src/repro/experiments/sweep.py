@@ -241,6 +241,11 @@ class SweepResult:
                 ).to_dict()
                 for spec in self.workloads
             }
+        # The fault spec is emitted only when faults are injected, so a
+        # fault-free sweep's JSON stays byte-identical to a build that
+        # predates fault injection ("counters are sacred").
+        if self.config.faults != "none":
+            grid["faults"] = self.config.faults
         served = self.multi_client
         if served:
             grid["clients"] = list(self.clients)

@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the storage stack.
+
+The paper's accounting assumes every page write is atomic and durable.
+This package drops that assumption *on purpose*: a
+:class:`~repro.fault.plan.FaultPlan` describes a seeded, reproducible
+fault schedule (torn and dropped page writes, transient read errors,
+numbered crash points), and a :class:`~repro.fault.backend.FaultyBackend`
+injects it underneath any :class:`~repro.storage.backends.DiskBackend`
+— the same failure classes the Samsung "Under the Hood" analysis shows
+dominate real object-storage nodes.
+
+Everything is strictly opt-in: with no plan armed the wrapper is a
+transparent pass-through, and with ``--faults none`` every existing
+sweep/BENCH output stays byte-identical (docs/ROBUSTNESS.md).
+"""
+
+from __future__ import annotations
+
+from repro.fault.backend import FaultyBackend
+from repro.fault.plan import FaultPlan
+from repro.fault.retry import (
+    DEFAULT_BACKOFF_BASE_MS,
+    DEFAULT_RETRY_LIMIT,
+    backoff_delay_ms,
+    call_with_retries,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultyBackend",
+    "DEFAULT_BACKOFF_BASE_MS",
+    "DEFAULT_RETRY_LIMIT",
+    "backoff_delay_ms",
+    "call_with_retries",
+]

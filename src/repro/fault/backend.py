@@ -1,0 +1,106 @@
+"""A fault-injecting :class:`~repro.storage.backends.DiskBackend` wrapper.
+
+``FaultyBackend`` composes over any inner backend — ``MemoryBackend``,
+``FileBackend``, or a ``TraceBackend`` (wrap the trace *inside* the
+faults, ``FaultyBackend(TraceBackend(inner))``, so the trace records
+post-fault reality and a replay rebuilds the exact faulty image).
+
+While the plan is disarmed every call forwards untouched; armed, each
+backend call is numbered and the plan decides:
+
+* **crash** — the numbered crash point fires *instead of* the call
+  (reads, frees, allocations, syncs) or after a whole-page prefix of it
+  (writes), then raises :class:`~repro.errors.SimulatedCrash`;
+* **transient read error** — the read call raises
+  :class:`~repro.errors.TransientIOError` before touching the device
+  (the next attempt may succeed — that is what retry loops are for);
+* **dropped / torn writes** — individual pages of a write call are
+  silently skipped or corrupted, the lies checksums and the journal's
+  read-back verification exist to catch.
+
+Lifecycle operations (``snapshot``/``restore``/``close``) always pass
+through: they model the harness, not the device.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TransientIOError
+from repro.fault.plan import FaultPlan
+from repro.storage.backends import DiskBackend, PageImage
+
+
+class FaultyBackend(DiskBackend):
+    """Forward every call to ``inner``, injecting the plan's faults."""
+
+    name = "faulty"
+
+    def __init__(self, inner: DiskBackend, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+
+    # -- protocol ---------------------------------------------------------
+
+    def allocate_run(self, start: int, count: int) -> None:
+        op = self.plan.next_op()
+        if op is not None and self.plan.should_crash(op):
+            self.plan.crash_now(op)
+        self.inner.allocate_run(start, count)
+
+    def read_run(self, page_ids: Sequence[int]) -> list[bytes]:
+        op = self.plan.next_op()
+        if op is not None:
+            if self.plan.should_crash(op):
+                self.plan.crash_now(op)
+            if self.plan.read_fails():
+                raise TransientIOError(
+                    f"transient read error on pages {list(page_ids)!r} "
+                    f"(backend operation {op})"
+                )
+        return self.inner.read_run(page_ids)
+
+    def write_run(self, items: Sequence[tuple[int, bytes]]) -> None:
+        items = list(items)
+        op = self.plan.next_op()
+        if op is None:
+            self.inner.write_run(items)
+            return
+        if self.plan.should_crash(op):
+            # Power loss mid-call: a whole-page prefix reaches the
+            # device, the rest never happens.  Pages are the atomic
+            # unit; sub-page damage is the separate torn fault.
+            prefix = self.plan.crash_write_prefix(op, len(items))
+            if prefix:
+                self.inner.write_run(items[:prefix])
+            self.plan.crash_now(op)
+        staged: list[tuple[int, bytes]] = []
+        for page_id, data in items:
+            if self.plan.write_dropped():
+                continue
+            staged.append((page_id, self.plan.maybe_tear(data)))
+        if staged:
+            self.inner.write_run(staged)
+
+    def free(self, page_id: int) -> None:
+        op = self.plan.next_op()
+        if op is not None and self.plan.should_crash(op):
+            self.plan.crash_now(op)
+        self.inner.free(page_id)
+
+    def sync(self) -> None:
+        op = self.plan.next_op()
+        if op is not None and self.plan.should_crash(op):
+            self.plan.crash_now(op)
+        self.inner.sync()
+
+    # -- lifecycle (never faulted) ----------------------------------------
+
+    def snapshot(self) -> PageImage:
+        return self.inner.snapshot()
+
+    def restore(self, image: PageImage) -> None:
+        self.inner.restore(image)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,195 @@
+"""Seeded fault schedules: what breaks, when, reproducibly.
+
+A :class:`FaultPlan` is the single source of randomness of the fault
+layer.  It draws every fault decision from one seeded generator, and it
+numbers the backend calls it observes while *armed* — so a crash point
+is addressed as "backend operation ``k`` of the measured interval",
+and re-running the identical workload with ``crash_at=k`` reproduces
+the identical half-written disk state byte for byte.  That numbering is
+what lets the crashmonkey-lite fuzzer enumerate **every** crash point
+of a workload (count ops in one armed dry run, then crash at each
+index in turn).
+
+Crash-write model: a crash during a multi-page write applies a *whole
+page* prefix of the call — pages are the atomic unit of the simulated
+device, as in the paper's cost model.  Sub-page corruption is modelled
+separately by the ``torn`` fault (a silently corrupted page image),
+which page checksums and the journal's read-back verification exist to
+catch.  The prefix length is drawn from a generator derived from
+``(seed, op index)``, not from the main stream, so plans that differ
+only in ``crash_at`` share the exact fault history up to the crash.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulatedCrash, StorageError
+
+#: Spec accepted (and emitted) for "no faults at all".
+NO_FAULTS = "none"
+
+_KEYS = ("seed", "torn", "drop", "read", "crash_at")
+
+
+@dataclass
+class FaultPlan:
+    """One deterministic fault schedule plus its runtime state.
+
+    Probabilities are per written page (``torn``, ``drop``) or per read
+    call (``read``); ``crash_at`` names the armed backend operation that
+    loses power.  A plan is inert until :meth:`arm` — while disarmed the
+    wrapper backend is a pure pass-through, which is how recovery I/O
+    escapes the fault schedule (the plan auto-disarms when it crashes).
+    """
+
+    seed: int = 0
+    torn: float = 0.0
+    drop: float = 0.0
+    read: float = 0.0
+    crash_at: int | None = None
+
+    #: Backend operations observed while armed (the crash-point space).
+    ops_seen: int = field(default=0, init=False)
+    armed: bool = field(default=False, init=False)
+    #: Injection tallies, for tests and reports.
+    torn_writes: int = field(default=0, init=False)
+    dropped_writes: int = field(default=0, init=False)
+    read_errors: int = field(default=0, init=False)
+    crashes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        for name in ("torn", "drop", "read"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise StorageError(
+                    f"fault probability {name}={value!r} must be within [0, 1]"
+                )
+        if self.crash_at is not None and self.crash_at < 0:
+            raise StorageError("crash_at must be a non-negative operation index")
+        self._rng = random.Random(f"fault-plan-{self.seed}")
+
+    # -- parsing ----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str | None) -> "FaultPlan | None":
+        """Parse a ``--faults`` spec; ``"none"``/empty means no plan.
+
+        The spec is comma-joined ``key=value`` tokens over ``seed``,
+        ``torn``, ``drop``, ``read`` and ``crash_at``, e.g.
+        ``"seed=7,read=0.05"`` or ``"seed=1,crash_at=12"``.
+        """
+        if spec is None:
+            return None
+        text = spec.strip()
+        if not text or text == NO_FAULTS:
+            return None
+        kwargs: dict[str, float | int] = {}
+        for raw in text.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            key, sep, value = token.partition("=")
+            key = key.strip()
+            if not sep or key not in _KEYS:
+                raise StorageError(
+                    f"bad fault token {token!r} in spec {spec!r} "
+                    f"(known keys: {', '.join(_KEYS)})"
+                )
+            try:
+                if key in ("seed", "crash_at"):
+                    kwargs[key] = int(value)
+                else:
+                    kwargs[key] = float(value)
+            except ValueError:
+                raise StorageError(
+                    f"bad fault value {value.strip()!r} for {key!r} "
+                    f"in spec {spec!r}"
+                ) from None
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """The spec string this plan round-trips to."""
+        parts = [f"seed={self.seed}"]
+        for name in ("torn", "drop", "read"):
+            value = getattr(self, name)
+            if value:
+                parts.append(f"{name}={value:g}")
+        if self.crash_at is not None:
+            parts.append(f"crash_at={self.crash_at}")
+        return ",".join(parts)
+
+    # -- arming -----------------------------------------------------------
+
+    def arm(self) -> None:
+        """Start injecting (and numbering backend operations)."""
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Stop injecting; subsequent backend calls pass through."""
+        self.armed = False
+
+    # -- decisions (called by FaultyBackend) ------------------------------
+
+    def next_op(self) -> int | None:
+        """Number this backend call, or ``None`` while disarmed."""
+        if not self.armed:
+            return None
+        index = self.ops_seen
+        self.ops_seen = index + 1
+        return index
+
+    def should_crash(self, op_index: int) -> bool:
+        return self.crash_at is not None and op_index == self.crash_at
+
+    def crash_now(self, op_index: int) -> None:
+        """Lose power: disarm (recovery I/O must pass through) and raise."""
+        self.crashes += 1
+        self.armed = False
+        raise SimulatedCrash(
+            f"simulated crash at backend operation {op_index} "
+            f"(plan seed {self.seed})"
+        )
+
+    def crash_write_prefix(self, op_index: int, n_pages: int) -> int:
+        """Whole pages of the crashing write that reached the platter.
+
+        Drawn from a derived generator so the prefix depends only on
+        ``(seed, op index)`` — every plan of the same seed agrees on
+        what a crash at operation ``k`` leaves behind.
+        """
+        return random.Random(f"fault-crash-{self.seed}-{op_index}").randint(
+            0, n_pages
+        )
+
+    def read_fails(self) -> bool:
+        """Whether this read call raises a transient error."""
+        if self.read <= 0.0:
+            return False
+        if self._rng.random() < self.read:
+            self.read_errors += 1
+            return True
+        return False
+
+    def write_dropped(self) -> bool:
+        """Whether one written page is silently dropped."""
+        if self.drop <= 0.0:
+            return False
+        if self._rng.random() < self.drop:
+            self.dropped_writes += 1
+            return True
+        return False
+
+    def maybe_tear(self, data: bytes) -> bytes:
+        """Possibly return a torn (corrupted) copy of one page image."""
+        if self.torn <= 0.0 or self._rng.random() >= self.torn:
+            return data
+        self.torn_writes += 1
+        torn = bytearray(data)
+        # Corrupt a short run of bytes at a drawn offset: the classic
+        # interrupted-sector write.  XOR guarantees the image changes.
+        start = self._rng.randrange(max(1, len(torn) - 16))
+        for pos in range(start, min(len(torn), start + 16)):
+            torn[pos] ^= 0xA5
+        return bytes(torn)

@@ -155,6 +155,20 @@ class StorageModel(ABC):
         """
         return 0
 
+    def apply_recovery(self, report) -> None:
+        """Remap in-memory address tables after crash recovery.
+
+        ``report`` is the :class:`~repro.storage.journal.RecoveryReport`
+        returned by ``StorageEngine.recover``; its per-segment composed
+        forwarding covers every durable reorganisation batch since the
+        last checkpoint.  Page ids are never reused, so remapping a
+        table that already saw part of the relocation live is a no-op
+        for those entries — subclasses apply the maps unconditionally.
+        The base implementation does nothing, which is correct for
+        models holding no record addresses (plain NSM navigates by
+        logical key).
+        """
+
     def _validate_order(self, order: Sequence[int]) -> None:
         # Deferred import: the clustering package's driver replays
         # workload traces, which import this module.

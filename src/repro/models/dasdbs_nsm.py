@@ -385,6 +385,29 @@ class DASDBSNSMModel(StorageModel):
             ]
         return pages
 
+    def apply_recovery(self, report) -> None:
+        """Remap each store and the transformation table after recovery."""
+        stores = self._stores()
+        store_names = ("stations", "platforms", "connections", "sightseeings")
+        forwardings = {
+            name: report.forwarding_for(f"{stores[name].name}_small")
+            for name in store_names
+        }
+        for name in store_names:
+            stores[name].apply_recovery(forwardings[name])
+        if any(forwardings.values()):
+            self._table = [
+                None
+                if entry is None
+                else tuple(
+                    ("heap", forwardings[name].get(address, address))
+                    if kind == "heap"
+                    else (kind, address)
+                    for name, (kind, address) in zip(store_names, entry)
+                )
+                for entry in self._table
+            ]
+
     # -- snapshot state -------------------------------------------------------------------
 
     def _stores(self) -> dict[str, MixedTupleStore]:

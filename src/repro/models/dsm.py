@@ -27,7 +27,6 @@ from repro.nf2.oid import Rid
 from repro.nf2.serializer import DASDBS_FORMAT, StorageFormat
 from repro.nf2.values import NestedTuple
 from repro.storage import StorageEngine
-from repro.storage.heap import HeapFile
 from repro.storage.longobj import LongObjectAddress, LongObjectStore
 from repro.storage.page import SlottedPage
 
@@ -50,7 +49,7 @@ class DirectModelBase(StorageModel):
 
     def __init__(self, engine: StorageEngine, fmt: StorageFormat = DASDBS_FORMAT) -> None:
         super().__init__(engine, fmt)
-        self.heap = HeapFile(engine.new_segment(f"{self.name}_Station_small"))
+        self.heap = engine.new_heap(f"{self.name}_Station_small")
         self.long_store = LongObjectStore(
             engine.new_segment(f"{self.name}_Station_large"), fmt
         )
@@ -132,6 +131,17 @@ class DirectModelBase(StorageModel):
             for kind, handle in self._handles
         ]
         return len({rid.page_id for rid in forwarding.values()})
+
+    def apply_recovery(self, report) -> None:
+        """Remap the handle table through the recovery forwarding."""
+        forwarding = report.forwarding_for(self.heap.segment.name)
+        if forwarding:
+            self._handles = [
+                ("heap", forwarding.get(handle, handle))
+                if kind == "heap"
+                else (kind, handle)
+                for kind, handle in self._handles
+            ]
 
     # -- snapshot state -------------------------------------------------------
 

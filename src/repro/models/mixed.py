@@ -19,7 +19,6 @@ from repro.nf2.schema import RelationSchema
 from repro.nf2.serializer import NF2Serializer, StorageFormat
 from repro.nf2.values import NestedTuple
 from repro.storage import StorageEngine
-from repro.storage.heap import HeapFile
 from repro.storage.longobj import LongObjectAddress, LongObjectStore
 from repro.storage.page import SlottedPage
 
@@ -40,7 +39,7 @@ class MixedTupleStore:
         self.name = name
         self.schema = schema
         self.serializer = NF2Serializer(fmt)
-        self.heap = HeapFile(engine.new_segment(f"{name}_small"))
+        self.heap = engine.new_heap(f"{name}_small")
         self.long_store = LongObjectStore(engine.new_segment(f"{name}_large"), fmt)
         self._small_threshold = SlottedPage.max_record_size(engine.page_size)
         self._handles: list[TupleHandle] = []
@@ -156,6 +155,16 @@ class MixedTupleStore:
                 for kind, address in self._handles
             ]
         return forwarding
+
+    def apply_recovery(self, forwarding: dict[Rid, Rid]) -> None:
+        """Remap the handle table through a recovery forwarding map."""
+        if forwarding:
+            self._handles = [
+                ("heap", forwarding.get(address, address))
+                if kind == "heap"
+                else (kind, address)
+                for kind, address in self._handles
+            ]
 
     # -- snapshot state -----------------------------------------------------------
 

@@ -84,10 +84,10 @@ class NSMModel(StorageModel):
 
     def __init__(self, engine: StorageEngine, fmt: StorageFormat = DASDBS_FORMAT) -> None:
         super().__init__(engine, fmt)
-        self.stations = HeapFile(engine.new_segment("NSM_Station"))
-        self.platforms = HeapFile(engine.new_segment("NSM_Platform"))
-        self.connections = HeapFile(engine.new_segment("NSM_Connection"))
-        self.sightseeings = HeapFile(engine.new_segment("NSM_Sightseeing"))
+        self.stations = engine.new_heap("NSM_Station")
+        self.platforms = engine.new_heap("NSM_Platform")
+        self.connections = engine.new_heap("NSM_Connection")
+        self.sightseeings = engine.new_heap("NSM_Sightseeing")
         self._deleted_keys: set[int] = set()
 
     # -- references: logical keys -------------------------------------------
@@ -557,6 +557,24 @@ class NSMIndexModel(NSMModel):
                     table[key] = [forwarding.get(rid, rid) for rid in rids]
                 pages += len({rid.page_id for rid in forwarding.values()})
         return pages
+
+    def apply_recovery(self, report) -> None:
+        """Remap the index through the recovery forwarding maps."""
+        stations = report.forwarding_for("NSM_Station")
+        if stations:
+            self._station_rid = {
+                key: stations.get(rid, rid)
+                for key, rid in self._station_rid.items()
+            }
+        for segment_name, table in (
+            ("NSM_Platform", self._platform_rids),
+            ("NSM_Connection", self._connection_rids),
+            ("NSM_Sightseeing", self._sightseeing_rids),
+        ):
+            forwarding = report.forwarding_for(segment_name)
+            if forwarding:
+                for key, rids in table.items():
+                    table[key] = [forwarding.get(rid, rid) for rid in rids]
 
     # -- snapshot state ----------------------------------------------------------
 

@@ -53,7 +53,18 @@ from repro.benchmark.workload import (
     WorkloadTrace,
     compile_trace,
 )
-from repro.errors import ServingError
+from repro.errors import (
+    LatchError,
+    RetryExhaustedError,
+    ServingError,
+    TransientIOError,
+)
+from repro.fault.retry import (
+    DEFAULT_BACKOFF_BASE_MS,
+    DEFAULT_RETRY_LIMIT,
+    backoff_delay_ms,
+    call_with_retries,
+)
 from repro.models.base import StorageModel
 
 from typing import TYPE_CHECKING
@@ -111,9 +122,14 @@ class ServingStats:
     latency_mean_ms: float
     makespan_ms: float
     requests_per_second: float
+    #: Transient faults absorbed by retries / operations abandoned,
+    #: summed over all sessions.  Zero (and absent from the digest)
+    #: whenever no faults are injected.
+    retries: int = 0
+    errors: int = 0
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "clients": self.clients,
             "scheduler": self.scheduler,
             "n_ops": self.n_ops,
@@ -123,6 +139,11 @@ class ServingStats:
             "makespan_ms": self.makespan_ms,
             "requests_per_second": self.requests_per_second,
         }
+        if self.retries:
+            out["retries"] = self.retries
+        if self.errors:
+            out["errors"] = self.errors
+        return out
 
 
 @dataclass(frozen=True)
@@ -176,7 +197,11 @@ class ServingExecutor:
         service_model: ServiceTimeModel | None = None,
         stats: "AccessStats | None" = None,
         online: "OnlineRecluster | None" = None,
+        retry_limit: int = DEFAULT_RETRY_LIMIT,
+        backoff_base_ms: float = DEFAULT_BACKOFF_BASE_MS,
     ) -> None:
+        if retry_limit < 0:
+            raise ServingError("retry_limit must be non-negative")
         if not traces:
             raise ServingError("at least one client trace is required")
         if workers < 1:
@@ -210,6 +235,14 @@ class ServingExecutor:
         #: the ticket-serialised section, so collected statistics are
         #: identical across worker counts.
         self.stats = stats
+        #: Graceful degradation under injected faults: transient read
+        #: errors and latch conflicts are retried up to ``retry_limit``
+        #: times with a deterministic exponential backoff charged to the
+        #: simulated clock; an operation that exhausts its budget is
+        #: abandoned (counted in the session's ``errors``) and serving
+        #: continues.  Fault-free runs never enter any of these paths.
+        self.retry_limit = retry_limit
+        self.backoff_base_ms = backoff_base_ms
         #: Optional online-recluster controller, fed after each granted
         #: operation completes (outside any session's fix attribution):
         #: its deterministic triggers run bounded page-move batches
@@ -356,12 +389,33 @@ class ServingExecutor:
         calls_before = metrics.read_calls + metrics.write_calls
         pages_before = metrics.pages_read + metrics.pages_written
         fixes_before = metrics.page_fixes
+        backoff_ms = 0.0
+        errored = False
+
+        def on_retry(attempt: int, exc: Exception) -> None:
+            # Each retry waits an exponentially growing slice of
+            # *simulated* time — deterministic, charged to the clock.
+            nonlocal backoff_ms
+            backoff_ms += backoff_delay_ms(attempt, self.backoff_base_ms)
+
         self._active = session
         try:
-            touched = self._execute_op(op, index)
+            touched, retries_used = call_with_retries(
+                lambda: self._execute_op(op, index),
+                limit=self.retry_limit,
+                retry_on=(TransientIOError, LatchError),
+                on_retry=on_retry,
+            )
+        except RetryExhaustedError:
+            # Degrade, don't die: the operation is abandoned, its cost
+            # (all attempts + backoff) still burdens this session.
+            touched, retries_used = None, self.retry_limit
+            errored = True
+            session.counters.errors += 1
         finally:
             self._active = None
-        service_ms = self.service_model.op_ms(
+        session.counters.retries += retries_used
+        service_ms = backoff_ms + self.service_model.op_ms(
             metrics.read_calls + metrics.write_calls - calls_before,
             metrics.pages_read + metrics.pages_written - pages_before,
             metrics.page_fixes - fixes_before,
@@ -382,6 +436,8 @@ class ServingExecutor:
         # its fixes to no session and no service time — the "background"
         # half of online reclustering.  Still inside the ticket-
         # serialised section: deterministic across worker counts.
+        if errored:
+            return  # an abandoned operation feeds no observers
         if self.stats is not None:
             if touched is None:
                 self.stats.record_scan()
@@ -447,6 +503,8 @@ class ServingExecutor:
             requests_per_second=(
                 n_ops * 1000.0 / makespan_ms if makespan_ms > 0 else 0.0
             ),
+            retries=sum(session.counters.retries for session in self.sessions),
+            errors=sum(session.counters.errors for session in self.sessions),
         )
         op_counts: dict[str, int] = {}
         for session in self.sessions:

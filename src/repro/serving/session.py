@@ -21,7 +21,7 @@ from repro.errors import ServingError
 class SessionCounters:
     """Per-session accounting: operations, fixes, simulated latencies."""
 
-    __slots__ = ("ops", "page_fixes", "service_ms", "latencies_ms")
+    __slots__ = ("ops", "page_fixes", "service_ms", "latencies_ms", "retries", "errors")
 
     def __init__(self) -> None:
         #: Completed operations by kind (trace-order keys).
@@ -33,19 +33,33 @@ class SessionCounters:
         #: Simulated request latency (queue wait + service) per
         #: completed operation, in completion order.
         self.latencies_ms: list[float] = []
+        #: Transient faults absorbed by the bounded retry loop.
+        self.retries = 0
+        #: Operations abandoned after the retry budget ran out.
+        self.errors = 0
 
     @property
     def n_ops(self) -> int:
         return sum(self.ops.values())
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-stable summary (the latency series is reduced to sums)."""
-        return {
+        """JSON-stable summary (the latency series is reduced to sums).
+
+        Retry/error counters appear only when non-zero: fault-free runs
+        — every run of the default benchmarks — keep the exact summary
+        shape (and JSON bytes) they had before fault injection existed.
+        """
+        out: dict[str, object] = {
             "ops": dict(sorted(self.ops.items())),
             "page_fixes": self.page_fixes,
             "service_ms": self.service_ms,
             "latency_total_ms": sum(self.latencies_ms),
         }
+        if self.retries:
+            out["retries"] = self.retries
+        if self.errors:
+            out["errors"] = self.errors
+        return out
 
 
 class Session:

@@ -47,9 +47,16 @@ from repro.storage.constants import (
 )
 from repro.storage.disk import DiskGeometry, DiskSnapshot, SimulatedDisk
 from repro.storage.heap import HeapFile
+from repro.storage.journal import (
+    IntentJournal,
+    JournalRecord,
+    RecoveryReport,
+    apply_record,
+    compose_forwarding,
+)
 from repro.storage.longobj import LongObjectAddress, LongObjectStore, ObjectDirectory
 from repro.storage.metrics import MetricsCollector, MetricsSnapshot, ScaledMetrics
-from repro.storage.page import SlottedPage
+from repro.storage.page import SlottedPage, page_checksum, page_is_intact, seal_page
 from repro.storage.segment import Segment
 
 
@@ -77,14 +84,115 @@ class StorageEngine:
         )
         self.buffer = BufferManager(self.disk, capacity=buffer_pages, policy=policy)
         self.page_size = page_size
+        # Segment registry, so crash recovery can walk every journal.
+        # Heap segments are tracked separately: only they carry slotted
+        # pages (journals and checksum guards never touch the raw data
+        # pages of the long-object store).
+        self._segments: dict[str, Segment] = {}
+        self._heap_segments: dict[str, Segment] = {}
+        self._journaling = False
+        self._checksums = False
 
     def new_segment(self, name: str) -> Segment:
         """Create a fresh segment (one relation / object store)."""
-        return Segment(name, self.disk, self.buffer)
+        segment = Segment(name, self.disk, self.buffer)
+        self._segments[name] = segment
+        return segment
 
     def new_heap(self, name: str) -> HeapFile:
         """Create a heap file over a fresh segment."""
-        return HeapFile(self.new_segment(name))
+        segment = self.new_segment(name)
+        self._heap_segments[name] = segment
+        if self._journaling:
+            segment.journal = IntentJournal(name)
+        if self._checksums:
+            self.buffer.enable_checksums(segment)
+        return HeapFile(segment)
+
+    # -- robustness (opt-in; see docs/ROBUSTNESS.md) -----------------------
+
+    @property
+    def journaling(self) -> bool:
+        return self._journaling
+
+    @property
+    def checksums(self) -> bool:
+        return self._checksums
+
+    def enable_journaling(self) -> None:
+        """Attach an intent journal to every heap segment (idempotent).
+
+        From here on ``recluster``/``move_records`` run their
+        all-or-nothing journaled paths and :meth:`recover` can roll an
+        interrupted batch forward.  Off by default: journaling changes
+        the I/O pattern of reorganisation (staging reads, read-back
+        verification), so the byte-parity benchmarks never enable it.
+        """
+        self._journaling = True
+        for name, segment in self._heap_segments.items():
+            if segment.journal is None:
+                segment.journal = IntentJournal(name)
+
+    def enable_checksums(self) -> None:
+        """Guard every heap segment's pages with CRC-32 (idempotent).
+
+        Guarded pages are sealed on write-back and verified on every
+        buffer-miss read; a torn page surfaces as
+        :class:`~repro.errors.StorageFaultError` instead of silent
+        corruption.  Off by default for byte-parity.
+        """
+        self._checksums = True
+        for segment in self._heap_segments.values():
+            self.buffer.enable_checksums(segment)
+
+    def recover(self) -> RecoveryReport:
+        """Restart after a (simulated) crash and repair the disk state.
+
+        Models the recovery boot sequence: the buffer's volatile
+        contents are gone (:meth:`BufferManager.crash_reset`), the
+        journals keep only their flushed prefix, and every durable but
+        incomplete batch is rolled forward via the journal's idempotent
+        apply.  The report's composed per-segment forwarding covers
+        **all** durable batches since the last :meth:`checkpoint`, not
+        just the replayed ones: a crash between a batch's completion
+        and the caller's address-table remap leaves the tables stale
+        even though the disk is fine, and (page ids never being reused)
+        re-remapping an already-updated table is a no-op.
+        """
+        self.buffer.crash_reset()
+        replayed: list[tuple[str, int, str]] = []
+        rolled_back: list[tuple[str, int, str]] = []
+        forwarding: dict[str, dict] = {}
+        for name, segment in self._heap_segments.items():
+            journal = segment.journal
+            if journal is None:
+                continue
+            for record in journal.truncate_to_durable():
+                rolled_back.append((name, record.batch_id, record.op))
+            for record in journal.pending():
+                apply_record(record, segment)
+                journal.complete(record.batch_id)
+                replayed.append((name, record.batch_id, record.op))
+            composed = compose_forwarding(journal.durable_records())
+            if composed:
+                forwarding[name] = composed
+        return RecoveryReport(
+            replayed=tuple(replayed),
+            rolled_back=tuple(rolled_back),
+            forwarding=forwarding,
+        )
+
+    def checkpoint(self) -> None:
+        """Flush, then drop completed journal records.
+
+        Callers acknowledge that every completed batch's forwarding has
+        reached their address tables; after a checkpoint,
+        :meth:`recover` no longer reports those batches.
+        """
+        self.buffer.flush()
+        for segment in self._heap_segments.values():
+            if segment.journal is not None:
+                segment.journal.checkpoint()
 
     def flush(self) -> None:
         """Write back all dirty pages (database disconnect)."""
@@ -135,6 +243,17 @@ class StorageEngine:
         self.disk.sync()
         self.disk.close()
 
+    def __enter__(self) -> "StorageEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # A crashed build must still release its backing file; skip the
+        # flush when unwinding an exception (the state is suspect).
+        if exc_type is None:
+            self.close()
+        else:
+            self.disk.close()
+
 
 __all__ = [
     "BACKEND_NAMES",
@@ -150,6 +269,14 @@ __all__ = [
     "DiskGeometry",
     "DiskSnapshot",
     "HeapFile",
+    "IntentJournal",
+    "JournalRecord",
+    "RecoveryReport",
+    "apply_record",
+    "compose_forwarding",
+    "page_checksum",
+    "page_is_intact",
+    "seal_page",
     "LongObjectAddress",
     "LongObjectStore",
     "MetricsCollector",

@@ -202,12 +202,27 @@ class FileBackend(DiskBackend):
     With ``path=None`` an anonymous temporary file is used and removed
     on :meth:`close` (the common case: one throwaway file per benchmark
     engine).  A named ``path`` persists for inspection.
+
+    ``fsync=True`` forces every write run to stable storage before
+    returning — the durability the journal's commit point assumes when
+    the journal itself lives on a file.  It is off by default: the
+    benchmarks model durability at the simulation layer, and an fsync
+    per run would serialise the measurement on real disk latency.
+
+    The backend is a context manager; ``with FileBackend(...) as b:``
+    closes (and for anonymous files removes) the backing file on exit.
     """
 
     name = "file"
 
-    def __init__(self, page_size: int = PAGE_SIZE, path: str | None = None) -> None:
+    def __init__(
+        self,
+        page_size: int = PAGE_SIZE,
+        path: str | None = None,
+        fsync: bool = False,
+    ) -> None:
         self.page_size = page_size
+        self.fsync = fsync
         self._fd: int | None = None
         if path is None:
             fd, self.path = tempfile.mkstemp(prefix="repro-disk-", suffix=".pages")
@@ -270,6 +285,8 @@ class FileBackend(DiskBackend):
             [page_id for page_id, _ in items], max_len=_IOV_MAX
         ):
             self._write_stretch(fd, stretch[0], [by_id[p] for p in stretch])
+        if self.fsync:
+            os.fsync(fd)
 
     def free(self, page_id: int) -> None:
         # The file keeps its extent; the disk layer guarantees freed
@@ -328,6 +345,13 @@ class FileBackend(DiskBackend):
                     os.unlink(self.path)
                 except OSError:
                     pass
+
+    def __enter__(self) -> "FileBackend":
+        self._require_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         if getattr(self, "_fd", None) is not None:

@@ -25,11 +25,17 @@ import threading
 from collections import OrderedDict, deque
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import BufferError_, BufferFullError, InvalidAddressError, LatchError
+from repro.errors import (
+    BufferError_,
+    BufferFullError,
+    InvalidAddressError,
+    LatchError,
+    StorageFaultError,
+)
 from repro.storage.backends import contiguous_runs
 from repro.storage.constants import DEFAULT_BUFFER_PAGES, WRITE_BATCH_MAX
 from repro.storage.disk import SimulatedDisk
-from repro.storage.page import SlottedPage
+from repro.storage.page import SlottedPage, page_is_intact, seal_page
 
 
 class _Frame:
@@ -468,6 +474,44 @@ class BufferManager:
         # per page fix is measurable at sweep scale).
         self._on_access = self.policy.on_access
         self._frames_get = self._frames.get
+        # Checksum guards (off by default): containers — in practice
+        # slotted-page segments — whose pages are sealed with a CRC on
+        # write-back and verified on every miss read.  Only guarded
+        # pages participate, so raw long-object pages (arbitrary bytes,
+        # no header) are never sealed or misjudged.
+        self._checksum_guards: list = []
+
+    # -- checksums --------------------------------------------------------------
+
+    def enable_checksums(self, guard) -> None:
+        """Guard a page container (``page_id in guard``) with checksums.
+
+        Guarded pages get their CRC sealed into the header pad on every
+        write-back (flush, eviction, write-through) and verified on
+        every buffer-miss read; a mismatch raises
+        :class:`~repro.errors.StorageFaultError`.  Strictly opt-in: with
+        no guard registered neither path changes a byte.
+        """
+        if guard not in self._checksum_guards:
+            self._checksum_guards.append(guard)
+
+    def checksums_enabled_for(self, guard) -> bool:
+        return guard in self._checksum_guards
+
+    def _verify_read(self, page_id: int, data: bytes | bytearray) -> None:
+        for guard in self._checksum_guards:
+            if page_id in guard:
+                if not page_is_intact(data):
+                    raise StorageFaultError(
+                        f"page {page_id} failed checksum verification on read"
+                    )
+                return
+
+    def _seal_for_write(self, page_id: int, data: bytearray) -> None:
+        for guard in self._checksum_guards:
+            if page_id in guard:
+                seal_page(data)
+                return
 
     # -- introspection ---------------------------------------------------------
 
@@ -568,6 +612,8 @@ class BufferManager:
         if len(self._frames) >= self.capacity:
             self._make_room(1)
         data = bytearray(self.disk.read_page(page_id))
+        if self._checksum_guards:
+            self._verify_read(page_id, data)
         frame = _Frame(data)
         self._frames[page_id] = frame
         self.policy.on_insert(page_id)
@@ -596,7 +642,10 @@ class BufferManager:
             if missing:
                 self._make_room(len(missing))
                 contents = self.disk.read_pages(missing)
+                verify = bool(self._checksum_guards)
                 for pid, content in zip(missing, contents):
+                    if verify:
+                        self._verify_read(pid, content)
                     self._frames[pid] = _Frame(bytearray(content))
                     self.policy.on_insert(pid)
         finally:
@@ -827,6 +876,8 @@ class BufferManager:
         frame = self._frames.get(page_id)
         if frame is None:
             raise InvalidAddressError(f"page {page_id} is not resident")
+        if self._checksum_guards:
+            self._seal_for_write(page_id, frame.data)
         self.disk.write_page(page_id, bytes(frame.data))
         frame.dirty = False
 
@@ -849,7 +900,11 @@ class BufferManager:
         ratios of Table 5.
         """
         dirty = sorted(pid for pid, frame in self._frames.items() if frame.dirty)
+        seal = bool(self._checksum_guards)
         for batch in _contiguous_batches(dirty, self.write_batch_max):
+            if seal:
+                for pid in batch:
+                    self._seal_for_write(pid, self._frames[pid].data)
             self.disk.write_pages(
                 (pid, bytes(self._frames[pid].data)) for pid in batch
             )
@@ -886,6 +941,21 @@ class BufferManager:
         self.policy.on_clear()
         self.policy.bind_capacity(self.capacity)
 
+    def crash_reset(self) -> None:
+        """Lose the buffer's volatile state — simulated power failure.
+
+        Unlike :meth:`reset`, fixed frames are dropped too: a crash does
+        not wait for fixes to be released, it destroys the RAM.  Dirty
+        pages vanish (that is the point — only what reached the backend
+        survives a crash), no I/O is charged, and the policy restarts
+        cold.  Fault-injection/recovery machinery only.
+        """
+        for pid in list(self._frames):
+            self.policy.on_remove(pid)
+        self._frames.clear()
+        self.policy.on_clear()
+        self.policy.bind_capacity(self.capacity)
+
     # -- eviction ------------------------------------------------------------------
 
     def _make_room(self, needed: int) -> None:
@@ -902,6 +972,8 @@ class BufferManager:
             if frame is None or frame.fix_count > 0:
                 continue
             if frame.dirty:
+                if self._checksum_guards:
+                    self._seal_for_write(pid, frame.data)
                 self.disk.write_page(pid, bytes(frame.data))
             del self._frames[pid]
             self.policy.on_evict(pid)

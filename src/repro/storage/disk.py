@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import InvalidAddressError, StorageError
-from repro.storage.backends import DiskBackend, make_backend
+from repro.storage.backends import DiskBackend, contiguous_runs, make_backend
 from repro.storage.constants import PAGE_SIZE
 from repro.storage.metrics import MetricsCollector, MetricsSnapshot
 
@@ -125,6 +125,49 @@ class SimulatedDisk:
         self._require(page_id)
         self._allocated.discard(page_id)
         self.backend.free(page_id)
+
+    @property
+    def peek_next_page_id(self) -> int:
+        """The id the next allocation will hand out (no side effects).
+
+        The journaled reorganisation paths stage their destination page
+        images in memory before allocating anything, so they need to
+        know the ids those pages *will* get.
+        """
+        return self._next_id
+
+    def ensure_allocated(self, start: int, count: int) -> None:
+        """Idempotently make the run ``[start, start+count)`` allocated.
+
+        Recovery replays a journaled batch whose allocation may have
+        happened fully, partially (the in-memory bookkeeping advanced
+        but the crash beat the backend call), or not at all.  Only the
+        *missing* pages are backend-allocated — re-allocating a page
+        the crashed run already wrote would zero it.  That is safe even
+        under the journal's invariant violation window because every
+        page of a journaled alloc run also appears in the record's
+        writes, which are re-applied afterwards.
+        """
+        if count <= 0:
+            return
+        missing = [
+            page_id
+            for page_id in range(start, start + count)
+            if page_id not in self._allocated
+        ]
+        for run in contiguous_runs(missing):
+            self.backend.allocate_run(run[0], len(run))
+        self._allocated.update(range(start, start + count))
+        self._next_id = max(self._next_id, start + count)
+
+    def free_if_allocated(self, page_id: int) -> None:
+        """Free a page, silently skipping one already freed.
+
+        The idempotent companion of :meth:`free`, for recovery replay:
+        a crashed batch may have freed some of its source pages already.
+        """
+        if page_id in self._allocated:
+            self.free(page_id)
 
     @property
     def allocated_pages(self) -> int:

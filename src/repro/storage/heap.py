@@ -13,7 +13,8 @@ from typing import Callable, Iterator
 
 from repro.errors import PageOverflowError, StorageError
 from repro.nf2.oid import Rid
-from repro.storage.page import SlottedPage
+from repro.storage.journal import JournalRecord, apply_record
+from repro.storage.page import SlottedPage, seal_page
 from repro.storage.segment import Segment
 
 
@@ -116,6 +117,8 @@ class HeapFile:
                 f"of segment {self.segment.name!r} "
                 f"({len(rid_order)} given, {len(records)} live)"
             )
+        if self.segment.journal is not None:
+            return self._recluster_journaled(records, rid_order)
         old_pages = self.segment.page_ids
         forwarding: dict[Rid, Rid] = {}
         page_id: int | None = None
@@ -165,6 +168,8 @@ class HeapFile:
             raise StorageError("move_records rids must be distinct")
         for rid in rids:
             self._require_page(rid.page_id)
+        if self.segment.journal is not None:
+            return self._move_records_journaled(rids, max_pages)
         forwarding: dict[Rid, Rid] = {}
         # Resume on the previous batch's unfilled destination (free
         # against the page budget — it was already paid for).  The fix
@@ -217,6 +222,158 @@ class HeapFile:
                 emptied.append(page_id)
         if emptied:
             self.segment.release_pages(emptied)
+        return forwarding
+
+    # -- crash-consistent reorganisation -----------------------------------------
+    #
+    # With a journal attached to the segment the reorganisation
+    # operators become all-or-nothing: the whole batch is staged as
+    # in-memory page images first, logged as ONE intent record, the
+    # journal flush is the commit point, and only then does any disk
+    # page change — via the journal's idempotent, read-back-verified
+    # apply.  A crash at any backend operation either precedes the
+    # flush (the batch never happened) or is rolled forward by
+    # ``StorageEngine.recover``.  A page never appears in both the
+    # record's writes and its frees, so replay after partial frees
+    # cannot write an unallocated page.
+
+    def _recluster_journaled(
+        self, records: dict[Rid, bytes], rid_order: list[Rid]
+    ) -> dict[Rid, Rid]:
+        segment = self.segment
+        journal = segment.journal
+        start = segment.disk.peek_next_page_id
+        images: list[bytearray] = []
+        page: SlottedPage | None = None
+        forwarding: dict[Rid, Rid] = {}
+        for old_rid in rid_order:
+            record = records[old_rid]
+            slot = -1
+            if page is not None:
+                try:
+                    slot = page.insert(record)
+                except PageOverflowError:
+                    page = None
+            if page is None:
+                data = bytearray(self.page_size)
+                images.append(data)
+                page = SlottedPage(data, self.page_size)
+                slot = page.insert(record)
+            forwarding[old_rid] = Rid(start + len(images) - 1, slot)
+        seal = self.buffer.checksums_enabled_for(segment)
+        writes = []
+        for index, data in enumerate(images):
+            if seal:
+                seal_page(data)
+            writes.append((start + index, bytes(data)))
+        intent = JournalRecord(
+            batch_id=journal.next_batch_id(),
+            op="recluster",
+            segment=segment.name,
+            alloc_start=start,
+            alloc_count=len(images),
+            writes=tuple(writes),
+            frees=tuple(segment.page_ids),
+            page_ids=tuple(range(start, start + len(images))),
+            forwarding=tuple(
+                ((old.page_id, old.slot), (new.page_id, new.slot))
+                for old, new in forwarding.items()
+            ),
+        )
+        journal.log(intent)
+        journal.flush()
+        apply_record(intent, segment)
+        journal.complete(intent.batch_id)
+        self._move_tail = None
+        return forwarding
+
+    def _move_records_journaled(
+        self, rids: list[Rid], max_pages: int
+    ) -> dict[Rid, Rid]:
+        segment = self.segment
+        journal = segment.journal
+        buffer = self.buffer
+        start = segment.disk.peek_next_page_id
+        images: dict[int, bytearray] = {}
+        views: dict[int, SlottedPage] = {}
+
+        def staged_view(page_id: int) -> SlottedPage:
+            # Copy-on-first-touch staging of an existing page: the live
+            # frame is never mutated, so an abort leaves nothing stale.
+            view = views.get(page_id)
+            if view is None:
+                data = bytearray(buffer.fix(page_id))
+                buffer.unfix(page_id)
+                images[page_id] = data
+                view = views[page_id] = SlottedPage(data, self.page_size)
+            return view
+
+        new_ids: list[int] = []
+        dest_id: int | None = None
+        dest_view: SlottedPage | None = None
+        if self._move_tail is not None and self._move_tail in segment:
+            dest_id = self._move_tail
+            dest_view = staged_view(dest_id)
+        pages_used = 0
+        forwarding: dict[Rid, Rid] = {}
+        for rid in rids:
+            record = self.read(rid)
+            slot = -1
+            if dest_view is not None:
+                try:
+                    slot = dest_view.insert(record)
+                except PageOverflowError:
+                    dest_view = None
+            if dest_view is None:
+                if pages_used >= max_pages:
+                    break
+                dest_id = start + len(new_ids)
+                new_ids.append(dest_id)
+                data = bytearray(self.page_size)
+                images[dest_id] = data
+                dest_view = views[dest_id] = SlottedPage(data, self.page_size)
+                pages_used += 1
+                slot = dest_view.insert(record)
+            forwarding[rid] = Rid(dest_id, slot)
+        if not forwarding:
+            return {}
+        for rid in forwarding:
+            staged_view(rid.page_id).delete(rid.slot)
+        emptied = {
+            page_id
+            for page_id in {rid.page_id for rid in forwarding}
+            if views[page_id].live_records == 0
+        }
+        seal = self.buffer.checksums_enabled_for(segment)
+        writes = []
+        for page_id in sorted(images):
+            if page_id in emptied:
+                continue
+            data = images[page_id]
+            if seal:
+                seal_page(data)
+            writes.append((page_id, bytes(data)))
+        surviving = [pid for pid in segment.page_ids if pid not in emptied]
+        intent = JournalRecord(
+            batch_id=journal.next_batch_id(),
+            op="move",
+            segment=segment.name,
+            alloc_start=start,
+            alloc_count=len(new_ids),
+            writes=tuple(writes),
+            frees=tuple(sorted(emptied)),
+            page_ids=tuple(surviving + new_ids),
+            forwarding=tuple(
+                ((old.page_id, old.slot), (new.page_id, new.slot))
+                for old, new in forwarding.items()
+            ),
+        )
+        journal.log(intent)
+        journal.flush()
+        apply_record(intent, segment)
+        journal.complete(intent.batch_id)
+        if dest_view is not None:
+            self._move_tail = dest_id
         return forwarding
 
     # -- reading -----------------------------------------------------------------

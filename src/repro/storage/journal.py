@@ -1,0 +1,235 @@
+"""Per-segment intent journal: crash-consistent reorganisation.
+
+The mutating reorganisation operators (``HeapFile.recluster``,
+``HeapFile.move_records``) rewrite many pages in place; a crash
+mid-batch would silently corrupt the extension.  This module makes
+them **all-or-nothing** with a redo-only write-ahead protocol:
+
+1. the operator stages the whole batch *in memory* — full post-images
+   of every page it will write, the pages it will free, the segment's
+   page list afterwards, and the rid forwarding map;
+2. it logs the batch as one :class:`JournalRecord` and **flushes** the
+   journal — this flush is the commit point;
+3. only then does it touch the disk, via :func:`apply_record`.
+
+A crash before the flush leaves the disk untouched (the volatile
+intent is discarded: the batch rolled back).  A crash after the flush
+is repaired by :meth:`~repro.storage.StorageEngine.recover`, which
+re-applies every durable-but-incomplete record — :func:`apply_record`
+is idempotent, so roll-forward needs no undo images.  Because the
+record carries full page images, re-applying also heals torn and
+dropped destination writes: every write is read back and verified
+against the journaled image, with a bounded number of rewrites.
+
+The journal itself is modelled as stable storage with atomic record
+appends (a real implementation would write sector-aligned records with
+their own checksums); :meth:`IntentJournal.truncate_to_durable` is the
+crash operator that discards whatever had not been flushed.
+
+Journaling is **opt-in** (``StorageEngine.enable_journaling``).  With
+no journal attached the operators run their original in-place paths
+and every counter and byte of the default benchmarks stays identical —
+the "counters are sacred" contract of docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import RecoveryError, StorageFaultError, TransientIOError
+from repro.nf2.oid import Rid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
+    from repro.storage.segment import Segment
+
+#: Write-then-read-back verification rounds before giving up on a
+#: destination page (each round rewrites only the pages that failed).
+VERIFY_ATTEMPTS = 6
+
+#: Transient-read retries of one verification read.
+_VERIFY_READ_RETRIES = 8
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One reorganisation batch, complete enough to redo from scratch.
+
+    ``writes`` holds the full post-image of every page the batch
+    touches (fresh destination pages *and* rewritten source pages);
+    ``frees`` the pages it releases; ``page_ids`` the owning segment's
+    page list after the batch; ``forwarding`` the rid relocation map as
+    plain int tuples (kept picklable and Rid-free for journal storage).
+    """
+
+    batch_id: int
+    op: str
+    segment: str
+    alloc_start: int
+    alloc_count: int
+    writes: tuple[tuple[int, bytes], ...]
+    frees: tuple[int, ...]
+    page_ids: tuple[int, ...]
+    forwarding: tuple[tuple[tuple[int, int], tuple[int, int]], ...]
+
+    def forwarding_map(self) -> dict[Rid, Rid]:
+        """The relocation map as rids (``{old: new}``)."""
+        return {
+            Rid(*old): Rid(*new) for old, new in self.forwarding
+        }
+
+
+class IntentJournal:
+    """Write-ahead intent log of one segment.
+
+    Records move through three states: *volatile* (logged, lost by a
+    crash), *durable* (flushed — the commit point), *completed*
+    (applied to disk; kept until :meth:`checkpoint` so recovery can
+    still hand their forwarding to models whose in-memory tables missed
+    the live remap).
+    """
+
+    def __init__(self, segment_name: str) -> None:
+        self.segment_name = segment_name
+        self._entries: list[list] = []  # [JournalRecord, completed?]
+        self._durable = 0
+        self._next_batch = 0
+
+    # -- logging ----------------------------------------------------------
+
+    def next_batch_id(self) -> int:
+        batch_id = self._next_batch
+        self._next_batch += 1
+        return batch_id
+
+    def log(self, record: JournalRecord) -> None:
+        """Append a volatile intent record."""
+        self._entries.append([record, False])
+
+    def flush(self) -> None:
+        """Force logged records to stable storage — the commit point."""
+        self._durable = len(self._entries)
+
+    def complete(self, batch_id: int) -> None:
+        """Mark a durable batch as fully applied to disk."""
+        for entry in self._entries[: self._durable]:
+            if entry[0].batch_id == batch_id:
+                entry[1] = True
+                return
+        raise RecoveryError(
+            f"journal of segment {self.segment_name!r} holds no durable "
+            f"batch {batch_id}"
+        )
+
+    # -- crash / recovery --------------------------------------------------
+
+    def truncate_to_durable(self) -> list[JournalRecord]:
+        """Drop volatile records (the crash operator); returns them."""
+        dropped = [entry[0] for entry in self._entries[self._durable :]]
+        del self._entries[self._durable :]
+        return dropped
+
+    def pending(self) -> list[JournalRecord]:
+        """Durable records not yet marked complete, in log order."""
+        return [
+            entry[0] for entry in self._entries[: self._durable] if not entry[1]
+        ]
+
+    def durable_records(self) -> list[JournalRecord]:
+        """Every durable record (complete or not), in log order."""
+        return [entry[0] for entry in self._entries[: self._durable]]
+
+    def checkpoint(self) -> None:
+        """Drop completed records (their effects are model-visible)."""
+        kept = [entry for entry in self._entries[: self._durable] if not entry[1]]
+        tail = self._entries[self._durable :]
+        self._entries = kept + tail
+        self._durable = len(kept)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def apply_record(record: JournalRecord, segment: "Segment") -> None:
+    """Apply (or re-apply) one journaled batch to disk — idempotent.
+
+    Destination writes are verified by read-back against the journaled
+    images and rewritten up to :data:`VERIFY_ATTEMPTS` times, which is
+    what heals torn/dropped writes injected under the batch.  Buffer
+    frames of touched pages are discarded first so later fixes re-read
+    the authoritative disk state (the batch runs between operations, so
+    nothing is fixed).
+    """
+    disk, buffer = segment.disk, segment.buffer
+    if record.alloc_count:
+        disk.ensure_allocated(record.alloc_start, record.alloc_count)
+    for page_id, _ in record.writes:
+        buffer.discard(page_id)
+    pending = list(record.writes)
+    attempts = 0
+    while pending:
+        disk.write_pages(pending)
+        images = _read_back(disk, [page_id for page_id, _ in pending])
+        pending = [
+            (page_id, data)
+            for (page_id, data), image in zip(pending, images)
+            if image != data
+        ]
+        if not pending:
+            break
+        attempts += 1
+        if attempts >= VERIFY_ATTEMPTS:
+            raise StorageFaultError(
+                f"pages {[page_id for page_id, _ in pending]} of batch "
+                f"{record.batch_id} ({record.segment!r}) failed write "
+                f"verification {VERIFY_ATTEMPTS} times"
+            )
+    for page_id in record.frees:
+        buffer.discard(page_id)
+        disk.free_if_allocated(page_id)
+    segment.force_page_ids(list(record.page_ids))
+
+
+def _read_back(disk, page_ids: list[int]) -> list[bytes]:
+    """Verification read, retrying bounded transient faults."""
+    for _ in range(_VERIFY_READ_RETRIES):
+        try:
+            return disk.read_pages(page_ids)
+        except TransientIOError:
+            continue
+    return disk.read_pages(page_ids)
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`~repro.storage.StorageEngine.recover` did.
+
+    ``replayed`` lists the durable-but-incomplete batches rolled
+    forward; ``rolled_back`` the volatile intents discarded (batches
+    that never committed and left no trace on disk).  ``forwarding``
+    composes the rid relocation of **every** durable batch per segment
+    (old rid → newest rid): models remap their address tables through
+    it after recovery.  Page ids are never reused, so remapping a table
+    that already saw part of the relocation live is a no-op for those
+    entries — models may apply the composed map unconditionally.
+    """
+
+    replayed: tuple[tuple[str, int, str], ...] = ()
+    rolled_back: tuple[tuple[str, int, str], ...] = ()
+    forwarding: Mapping[str, Mapping[Rid, Rid]] = field(default_factory=dict)
+
+    def forwarding_for(self, segment_name: str) -> Mapping[Rid, Rid]:
+        """Composed relocation map of one segment (may be empty)."""
+        return self.forwarding.get(segment_name, {})
+
+
+def compose_forwarding(records: list[JournalRecord]) -> dict[Rid, Rid]:
+    """Fold per-batch relocation maps into one old→newest map."""
+    composed: dict[Rid, Rid] = {}
+    for record in records:
+        step = record.forwarding_map()
+        for old, current in composed.items():
+            composed[old] = step.get(current, current)
+        for old, new in step.items():
+            composed.setdefault(old, new)
+    return composed

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+from repro.errors import MetricsError
+
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
@@ -50,7 +52,7 @@ class MetricsSnapshot:
     def scaled(self, divisor: float) -> "ScaledMetrics":
         """Per-object / per-loop normalisation used throughout the paper."""
         if divisor <= 0:
-            raise ValueError("divisor must be positive")
+            raise MetricsError("divisor must be positive")
         return ScaledMetrics(
             read_calls=self.read_calls / divisor,
             write_calls=self.write_calls / divisor,
@@ -126,13 +128,13 @@ class MetricsCollector:
 
     def record_read_call(self, n_pages: int) -> None:
         if n_pages <= 0:
-            raise ValueError("a read call transfers at least one page")
+            raise MetricsError("a read call transfers at least one page")
         self.read_calls += 1
         self.pages_read += n_pages
 
     def record_write_call(self, n_pages: int) -> None:
         if n_pages <= 0:
-            raise ValueError("a write call transfers at least one page")
+            raise MetricsError("a write call transfers at least one page")
         self.write_calls += 1
         self.pages_written += n_pages
 

@@ -39,6 +39,7 @@ required implicitly, now stated.
 from __future__ import annotations
 
 import struct
+import zlib
 
 from repro.errors import InvalidAddressError, PageOverflowError, StorageError
 from repro.storage.constants import PAGE_HEADER_SIZE, PAGE_SIZE, SLOT_ENTRY_SIZE
@@ -52,6 +53,43 @@ _HEADER_UNPACK = _HEADER.unpack_from
 _HEADER_PACK = _HEADER.pack_into
 _SLOT_UNPACK = _SLOT.unpack_from
 _SLOT_PACK = _SLOT.pack_into
+
+#: Byte offset of the u32 page checksum inside the 36-byte header pad
+#: (the packed header fields occupy bytes 0..6, so the checksum sits in
+#: otherwise-unused pad space and no record layout shifts).
+_CRC_OFFSET = 6
+_CRC = struct.Struct("<I")
+
+
+def page_checksum(data: bytes | bytearray) -> int:
+    """CRC-32 of a page image, skipping the checksum field itself."""
+    mv = memoryview(data)
+    crc = zlib.crc32(mv[:_CRC_OFFSET])
+    crc = zlib.crc32(mv[_CRC_OFFSET + _CRC.size :], crc)
+    return crc & 0xFFFFFFFF
+
+
+def seal_page(data: bytearray) -> None:
+    """Stamp the page's checksum into its header pad (in place).
+
+    Called by the buffer manager on write-back when checksums are
+    enabled; the field lives in pad bytes the slotted layout never
+    touches, so sealing changes no record, slot, or header semantics.
+    """
+    _CRC.pack_into(data, _CRC_OFFSET, page_checksum(data))
+
+
+def page_is_intact(data: bytes | bytearray) -> bool:
+    """Whether a page image matches its stored checksum.
+
+    An all-zero image is accepted: it is a virgin allocation (or a
+    zero-filled recovered page) that was never sealed, not corruption —
+    :class:`SlottedPage` formats such pages on first use.
+    """
+    (stored,) = _CRC.unpack_from(data, _CRC_OFFSET)
+    if stored == page_checksum(data):
+        return True
+    return data.count(0) == len(data)
 
 #: Precompiled whole-directory formats, keyed by slot count.  The
 #: directory of ``n`` slots is ``2n`` consecutive u16 values read in one

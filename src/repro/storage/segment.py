@@ -22,6 +22,11 @@ class Segment:
         self.buffer = buffer
         self._page_ids: list[int] = []
         self._page_set: set[int] = set()
+        #: Optional write-ahead intent journal
+        #: (:class:`~repro.storage.journal.IntentJournal`).  ``None`` by
+        #: default: reorganisation runs its original in-place paths and
+        #: no counter moves.  Set by ``StorageEngine.enable_journaling``.
+        self.journal = None
 
     def __len__(self) -> int:
         return len(self._page_ids)
@@ -59,6 +64,17 @@ class Segment:
                 f"segment {self.name!r} already owns pages; "
                 "restore requires a fresh segment"
             )
+        self._page_ids = list(page_ids)
+        self._page_set = set(page_ids)
+
+    def force_page_ids(self, page_ids: list[int]) -> None:
+        """Unconditionally adopt a page-id list (recovery/apply only).
+
+        Unlike :meth:`restore_state` this replaces whatever the segment
+        currently owns: a journaled batch's committed page list is the
+        truth regardless of how far the crashed run got.  No pages are
+        freed here — the journal's apply step freed them on disk.
+        """
         self._page_ids = list(page_ids)
         self._page_set = set(page_ids)
 

@@ -21,6 +21,7 @@ BENCH_NAMES = {
     "sweep_cell_snapshot",
     "serving_closed_loop",
     "drift_online_replay",
+    "crash_recovery_replay",
 }
 
 

@@ -1,0 +1,125 @@
+"""Unit tests for the seeded fault schedule (:mod:`repro.fault.plan`)."""
+
+import pytest
+
+from repro.errors import SimulatedCrash, StorageError, StorageFaultError
+from repro.fault.plan import NO_FAULTS, FaultPlan
+
+
+class TestParse:
+    def test_none_specs_mean_no_plan(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse("") is None
+        assert FaultPlan.parse("  ") is None
+        assert FaultPlan.parse(NO_FAULTS) is None
+
+    def test_full_spec(self):
+        plan = FaultPlan.parse("seed=7, torn=0.25, drop=0.5, read=0.1, crash_at=12")
+        assert plan.seed == 7
+        assert plan.torn == 0.25
+        assert plan.drop == 0.5
+        assert plan.read == 0.1
+        assert plan.crash_at == 12
+
+    def test_describe_round_trips(self):
+        for spec in ("seed=7", "seed=1,read=0.05", "seed=3,torn=0.2,crash_at=9"):
+            plan = FaultPlan.parse(spec)
+            again = FaultPlan.parse(plan.describe())
+            assert again.describe() == plan.describe()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bogus=1",
+            "seed=7,unknown=2",
+            "seed",          # no '='
+            "read=lots",     # non-numeric
+            "crash_at=soon",
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(StorageError):
+            FaultPlan.parse(spec)
+
+    def test_out_of_range_probability_raises(self):
+        with pytest.raises(StorageError):
+            FaultPlan.parse("seed=1,read=1.5")
+        with pytest.raises(StorageError):
+            FaultPlan(torn=-0.1)
+
+    def test_negative_crash_point_raises(self):
+        with pytest.raises(StorageError):
+            FaultPlan(crash_at=-1)
+
+
+class TestArming:
+    def test_disarmed_plan_numbers_nothing(self):
+        plan = FaultPlan(seed=1, crash_at=0)
+        assert plan.next_op() is None
+        assert plan.ops_seen == 0
+
+    def test_armed_plan_numbers_sequentially(self):
+        plan = FaultPlan(seed=1)
+        plan.arm()
+        assert [plan.next_op() for _ in range(3)] == [0, 1, 2]
+        plan.disarm()
+        assert plan.next_op() is None
+        assert plan.ops_seen == 3
+
+    def test_crash_disarms_and_counts(self):
+        plan = FaultPlan(seed=1, crash_at=0)
+        plan.arm()
+        op = plan.next_op()
+        assert plan.should_crash(op)
+        with pytest.raises(SimulatedCrash):
+            plan.crash_now(op)
+        assert not plan.armed
+        assert plan.crashes == 1
+        # Recovery I/O passes through the disarmed plan untouched.
+        assert plan.next_op() is None
+
+    def test_simulated_crash_is_a_storage_fault(self):
+        assert issubclass(SimulatedCrash, StorageFaultError)
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        decisions = []
+        for _ in range(2):
+            plan = FaultPlan(seed=93, read=0.3, drop=0.3, torn=0.3)
+            plan.arm()
+            reads = [plan.read_fails() for _ in range(50)]
+            drops = [plan.write_dropped() for _ in range(50)]
+            tears = [plan.maybe_tear(bytes(64)) for _ in range(50)]
+            decisions.append((reads, drops, tears))
+        assert decisions[0] == decisions[1]
+
+    def test_different_seeds_differ(self):
+        def stream(seed):
+            plan = FaultPlan(seed=seed, read=0.5)
+            plan.arm()
+            return [plan.read_fails() for _ in range(64)]
+
+        assert stream(1) != stream(2)
+
+    def test_crash_prefix_ignores_crash_at(self):
+        # Plans differing only in crash_at agree on every prefix: the
+        # fuzzer's "same history up to the crash" guarantee.
+        a = FaultPlan(seed=5, crash_at=3)
+        b = FaultPlan(seed=5, crash_at=9)
+        for op in range(12):
+            assert a.crash_write_prefix(op, 10) == b.crash_write_prefix(op, 10)
+
+    def test_crash_prefix_within_bounds(self):
+        plan = FaultPlan(seed=5)
+        for op in range(20):
+            assert 0 <= plan.crash_write_prefix(op, 4) <= 4
+
+    def test_torn_image_same_length_and_different(self):
+        plan = FaultPlan(seed=5, torn=1.0)
+        plan.arm()
+        data = bytes(range(256)) * 2
+        torn = plan.maybe_tear(data)
+        assert len(torn) == len(data)
+        assert torn != data
+        assert plan.torn_writes == 1

@@ -1,0 +1,175 @@
+"""Graceful degradation: serving under injected transient faults.
+
+The contracts:
+
+* transient read faults are retried with deterministic simulated-time
+  backoff — the run completes, ``retries`` lands in the stats;
+* a session whose operation exhausts its retries degrades (the op is
+  abandoned, ``errors`` counts it) instead of tearing the server down;
+* fault-free runs emit neither counter — their JSON stays byte-identical
+  to the pre-fault serving layer;
+* the whole faulted pipeline is deterministic, seed by seed.
+"""
+
+import pytest
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.workload import WorkloadExecutor, WorkloadSpec, compile_trace
+from repro.errors import RetryExhaustedError, ServingError, TransientIOError
+from repro.serving import ServingExecutor, make_client_traces, make_scheduler
+
+CFG = BenchmarkConfig(
+    n_objects=40,
+    buffer_pages=48,
+    loops=5,
+    q1a_sample=4,
+    q1b_sample=1,
+    q2a_sample=2,
+    seed=3,
+)
+
+MODEL = "DASDBS-NSM"
+
+
+def serve_faulted(faults, clients=3, n_ops=24, seed=7, **kwargs):
+    """One serving run over a fault-injecting engine; plan armed."""
+    runner = BenchmarkRunner(CFG.with_changes(faults=faults))
+    model = runner.build_model(MODEL)
+    try:
+        plan = getattr(model.engine, "fault_plan", None)
+        spec = WorkloadSpec(name="deg", n_ops=n_ops, seed=seed)
+        traces = make_client_traces(spec, model.n_objects, clients)
+        executor = ServingExecutor(
+            model,
+            traces,
+            scheduler=make_scheduler("round-robin", seed=seed),
+            **kwargs,
+        )
+        if plan is not None:
+            plan.arm()
+        try:
+            outcome = executor.run()
+        finally:
+            if plan is not None:
+                plan.disarm()
+        return outcome
+    finally:
+        model.engine.close()
+
+
+class TestRetries:
+    def test_transient_reads_are_retried_to_completion(self):
+        outcome = serve_faulted("seed=5,read=0.01")
+        assert outcome.stats.retries > 0
+        assert outcome.stats.errors == 0
+        # Completed the full workload despite the faults.
+        clean = serve_faulted("none")
+        assert outcome.stats.n_ops == clean.stats.n_ops
+
+    def test_retries_surface_in_stats_dict(self):
+        outcome = serve_faulted("seed=5,read=0.01")
+        payload = outcome.stats.to_dict()
+        assert payload["retries"] == outcome.stats.retries
+        assert "errors" not in payload  # zero stays unemitted
+
+    def test_backoff_extends_latency(self):
+        clean = serve_faulted("none")
+        faulted = serve_faulted("seed=5,read=0.01")
+        assert faulted.stats.makespan_ms > clean.stats.makespan_ms
+
+    def test_faulted_runs_are_deterministic(self):
+        first = serve_faulted("seed=5,read=0.01")
+        second = serve_faulted("seed=5,read=0.01")
+        assert first.stats == second.stats
+        assert first.session_summaries == second.session_summaries
+
+
+class TestDegradation:
+    def test_exhausted_retries_degrade_not_crash(self):
+        # A brutal fault rate: some operations must exhaust their
+        # retries; the server abandons those and finishes the rest.
+        outcome = serve_faulted("seed=5,read=0.6", retry_limit=1)
+        assert outcome.stats.errors > 0
+        per_session_errors = sum(
+            summary.get("errors", 0) for summary in outcome.session_summaries
+        )
+        assert per_session_errors == outcome.stats.errors
+
+    def test_negative_retry_limit_rejected(self):
+        with pytest.raises(ServingError):
+            serve_faulted("none", retry_limit=-1)
+
+
+class TestFaultFreeParity:
+    def test_no_faults_emits_no_new_keys(self):
+        outcome = serve_faulted("none")
+        assert outcome.stats.retries == 0
+        assert outcome.stats.errors == 0
+        payload = outcome.stats.to_dict()
+        assert "retries" not in payload
+        assert "errors" not in payload
+        for summary in outcome.session_summaries:
+            assert "retries" not in summary
+            assert "errors" not in summary
+
+
+class TestFlatReplay:
+    def test_workload_executor_retries_heal(self):
+        runner = BenchmarkRunner(CFG.with_changes(faults="seed=5,read=0.01"))
+        model = runner.build_model(MODEL)
+        try:
+            plan = model.engine.fault_plan
+            spec = WorkloadSpec(name="flat", n_ops=30, seed=7)
+            executor = WorkloadExecutor(
+                model, compile_trace(spec, model.n_objects), retry_limit=4
+            )
+            plan.arm()
+            try:
+                executor.run()
+            finally:
+                plan.disarm()
+            assert executor.retries > 0
+        finally:
+            model.engine.close()
+
+    def test_flat_replay_fails_loud_without_retries(self):
+        # retry_limit=0 keeps the pre-fault loop byte-for-byte: no
+        # wrapper at all, so a transient fault surfaces raw instead of
+        # degrading.
+        runner = BenchmarkRunner(CFG.with_changes(faults="seed=5,read=1.0"))
+        model = runner.build_model(MODEL)
+        try:
+            plan = model.engine.fault_plan
+            spec = WorkloadSpec(name="flat", n_ops=10, seed=7)
+            executor = WorkloadExecutor(
+                model, compile_trace(spec, model.n_objects), retry_limit=0
+            )
+            plan.arm()
+            try:
+                with pytest.raises(TransientIOError):
+                    executor.run()
+            finally:
+                plan.disarm()
+        finally:
+            model.engine.close()
+
+    def test_flat_replay_exhaustion_raises(self):
+        # With retries on but a total fault rate, exhaustion must fail
+        # loud (the flat replay has no degradation path).
+        runner = BenchmarkRunner(CFG.with_changes(faults="seed=5,read=1.0"))
+        model = runner.build_model(MODEL)
+        try:
+            plan = model.engine.fault_plan
+            spec = WorkloadSpec(name="flat", n_ops=10, seed=7)
+            executor = WorkloadExecutor(
+                model, compile_trace(spec, model.n_objects), retry_limit=2
+            )
+            plan.arm()
+            try:
+                with pytest.raises(RetryExhaustedError):
+                    executor.run()
+            finally:
+                plan.disarm()
+        finally:
+            model.engine.close()

@@ -127,6 +127,33 @@ class TestFileBackend:
         assert images == [bytes([i % 251]) * PAGE for i in range(n)]
         b.close()
 
+    def test_context_manager_closes(self, tmp_path):
+        with FileBackend(PAGE, path=str(tmp_path / "cm.pages")) as b:
+            b.allocate_run(0, 1)
+            b.write_run([(0, b"c" * PAGE)])
+            assert b.read_run([0]) == [b"c" * PAGE]
+        with pytest.raises(StorageError):
+            b.read_run([0])
+
+    def test_entering_closed_backend_raises(self):
+        b = FileBackend(PAGE)
+        b.close()
+        with pytest.raises(StorageError):
+            with b:
+                pass  # pragma: no cover - never entered
+
+    def test_fsync_flag_round_trips_data(self, tmp_path):
+        path = str(tmp_path / "durable.pages")
+        with FileBackend(PAGE, path=path, fsync=True) as b:
+            assert b.fsync is True
+            b.allocate_run(0, 2)
+            b.write_run([(0, b"d" * PAGE), (1, b"e" * PAGE)])
+            assert b.read_run([0, 1]) == [b"d" * PAGE, b"e" * PAGE]
+        # Default stays off: the simulator's speed path.
+        b2 = FileBackend(PAGE)
+        assert b2.fsync is False
+        b2.close()
+
     def test_straddling_allocation_rezeroed(self, tmp_path):
         """An allocation overlapping the old extent AND growing the file
         must zero both parts, not just the grown tail."""
@@ -234,6 +261,55 @@ class TestTraceBackend:
         b.close()
         with pytest.raises(StorageError, match="load_trace"):
             replay_trace(b.events, MemoryBackend(PAGE))
+
+    def test_snapshot_recorded_and_replay_skips_it(self):
+        """Snapshots are lifecycle events: recorded for completeness,
+        no-ops on replay (taking one never changed the page store)."""
+        b = TraceBackend(MemoryBackend(PAGE))
+        b.allocate_run(0, 1)
+        b.write_run([(0, b"v" * PAGE)])
+        image = b.snapshot()
+        assert [e.op for e in b.events] == ["allocate", "write", "snapshot"]
+        assert b.events[-1].data is None
+        replayed = MemoryBackend(PAGE)
+        assert replay_trace(b.events, replayed) == 3
+        assert replayed.read_run([0]) == [b"v" * PAGE]
+        assert image[0] == b"v" * PAGE
+
+    def test_replay_rejects_restore_events(self):
+        """A restore's page images are not in the trace, so replaying
+        one cannot reproduce the store — refuse with a clear error."""
+        b = TraceBackend(MemoryBackend(PAGE))
+        b.allocate_run(0, 1)
+        image = b.snapshot()
+        b.restore(image)
+        assert [e.op for e in b.events] == ["allocate", "snapshot", "restore"]
+        with pytest.raises(StorageError, match="restore"):
+            replay_trace(b.events, MemoryBackend(PAGE))
+
+    def test_fault_shaped_trace_replays_faithfully(self, tmp_path):
+        """A trace shaped like a faulted run — a page rewritten after a
+        torn first image, a half-written batch cut short by a crash —
+        replays to exactly the bytes it records (satellite: fault/crash
+        event replay)."""
+        path = str(tmp_path / "faulty.jsonl")
+        b = TraceBackend(MemoryBackend(PAGE), path=path)
+        b.allocate_run(0, 4)
+        torn = b"t" * (PAGE // 2) + b"\x00" * (PAGE - PAGE // 2)
+        b.write_run([(0, torn)])            # torn image hits the platter
+        b.read_run([0])                     # checksum read finds the tear
+        b.write_run([(0, b"T" * PAGE)])     # healing rewrite
+        b.write_run([(1, b"p" * PAGE)])     # crash: prefix of a 3-page batch
+        b.sync()
+        b.close()
+        replayed = MemoryBackend(PAGE)
+        replay_trace(path, replayed)
+        assert replayed.read_run([0, 1, 2, 3]) == [
+            b"T" * PAGE,
+            b"p" * PAGE,
+            bytes(PAGE),
+            bytes(PAGE),
+        ]
 
 
 class TestMakeBackend:

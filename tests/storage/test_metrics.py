@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import MetricsError
 from repro.storage.metrics import MetricsCollector, MetricsSnapshot
 
 
@@ -27,9 +28,9 @@ class TestCollector:
 
     def test_zero_page_call_rejected(self):
         m = MetricsCollector()
-        with pytest.raises(ValueError):
+        with pytest.raises(MetricsError):
             m.record_read_call(0)
-        with pytest.raises(ValueError):
+        with pytest.raises(MetricsError):
             m.record_write_call(-1)
 
     def test_fix_hit_miss_split(self):
@@ -86,5 +87,5 @@ class TestSnapshotArithmetic:
         assert scaled.io_pages == 1.0
 
     def test_scaled_rejects_bad_divisor(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(MetricsError):
             MetricsSnapshot().scaled(0)
