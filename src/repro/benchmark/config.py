@@ -58,16 +58,31 @@ class BenchmarkConfig:
     policy: str = "lru"
 
     #: Disk backend: "memory" (the simulator, default), "file" (real
-    #: ``pread``/``pwrite`` against a backing file), or "trace" (memory
+    #: ``pread``/``pwrite`` against a backing file), "mmap" (the backing
+    #: file memory-mapped; zero-copy reads), "direct" (``O_DIRECT``
+    #: through an aligned bounce pool, page cache excluded; falls back
+    #: to buffered I/O where the filesystem refuses), or "trace" (memory
     #: plus a replayable JSONL call trace).  Metrics are identical
     #: across backends; see :mod:`repro.storage.backends`.
     backend: str = "memory"
 
-    #: Backend path: backing file for "file", JSONL output for "trace".
-    #: When several models run (one engine each) this is treated as a
-    #: directory and each engine writes ``<path>/<model>.jsonl`` /
-    #: ``<path>/<model>.pages``.  None = anonymous temp file / no file.
+    #: Backend path: backing file for "file"/"mmap"/"direct", JSONL
+    #: output for "trace".  When several models run (one engine each)
+    #: this is treated as a directory and each engine writes
+    #: ``<path>/<model>.jsonl`` / ``<path>/<model>.pages``.  None =
+    #: anonymous temp file / no file.
     backend_path: str | None = None
+
+    #: Coalesce backend I/O across serving sessions (default off): wrap
+    #: each engine's backend in an
+    #: :class:`~repro.storage.iosched.IOScheduler`, which sorts and
+    #: merges read runs and defers/merges write runs below the
+    #: accounting layer — fewer, larger real calls, bit-identical paper
+    #: counters (the sweep JSON never encodes this knob, so CI can
+    #: byte-diff scheduler-on vs scheduler-off runs).  Refuses to
+    #: combine with fault injection: the scheduler's RAM-staged writes
+    #: would survive a simulated crash.
+    io_scheduler: bool = False
 
     #: Worker threads for running independent models concurrently
     #: (each model builds its own engine, so runs are isolated).
@@ -177,6 +192,13 @@ class BenchmarkConfig:
         from repro.fault.plan import FaultPlan
 
         FaultPlan.parse(self.faults)
+        if self.io_scheduler and self.faults != "none":
+            raise BenchmarkError(
+                "io_scheduler cannot be combined with fault injection: "
+                "deferred writes staged in the scheduler's RAM would "
+                "survive a simulated crash, breaking the crash model "
+                "(only what reached the backend may survive)"
+            )
 
     @property
     def effective_loops(self) -> int:

@@ -139,6 +139,7 @@ class BenchmarkRunner:
             backend_path=(
                 self._backend_path_for(name) if plan is None else None
             ),
+            io_scheduler=self.config.io_scheduler,
         )
         if plan is not None:
             engine.enable_journaling()

@@ -304,6 +304,7 @@ class SnapshotStore:
             policy=config.policy,
             backend=config.backend,
             backend_path=backend_path,
+            io_scheduler=config.io_scheduler,
         )
         try:
             engine.disk.restore(snapshot.disk)

@@ -99,7 +99,10 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=(
             "disk backend: 'memory' (simulated, default), 'file' (real "
-            "pread/pwrite against a backing file), 'trace' (memory plus a "
+            "pread/pwrite against a backing file), 'mmap' (memory-mapped "
+            "backing file, zero-copy reads), 'direct' (O_DIRECT via an "
+            "aligned bounce pool, page cache excluded; falls back to "
+            "buffered I/O where unsupported), 'trace' (memory plus a "
             "replayable JSONL call trace); I/O counts are identical across "
             "backends"
         ),
@@ -110,8 +113,21 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help=(
             "directory for per-model backend files (backing .pages files "
-            "for --backend file, .jsonl traces for --backend trace); "
-            "default: anonymous temp files (required for --backend trace)"
+            "for --backend file/mmap/direct, .jsonl traces for --backend "
+            "trace); default: anonymous temp files (required for "
+            "--backend trace)"
+        ),
+    )
+    parser.add_argument(
+        "--io-scheduler",
+        dest="io_scheduler",
+        action="store_true",
+        default=None,
+        help=(
+            "coalesce backend I/O across serving sessions below the "
+            "accounting layer (sorted/merged reads, deferred/merged "
+            "writes): fewer, larger real calls, bit-identical counters "
+            "and sweep JSON (default: off; incompatible with --faults)"
         ),
     )
     parser.add_argument(
@@ -310,6 +326,8 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_changes(backend=args.backend)
     if args.backend_path:
         config = config.with_changes(backend_path=args.backend_path)
+    if args.io_scheduler is not None:
+        config = config.with_changes(io_scheduler=args.io_scheduler)
     if args.jobs is not None:
         if args.jobs < 1:
             parser.error("--jobs must be at least 1")

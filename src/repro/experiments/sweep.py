@@ -362,7 +362,11 @@ def run_sweep(
 
     ``config`` supplies the data knobs (extension size, seeds, page
     size, disk backend); its ``buffer_pages`` and ``policy`` are
-    overridden per cell by the grid axes.  ``jobs`` (default:
+    overridden per cell by the grid axes.  Execution knobs — the disk
+    backend, ``io_scheduler``, ``serving_workers`` — are deliberately
+    never encoded in the JSON: runs that differ only in *how* the bytes
+    move must produce byte-identical output, which is what lets CI
+    byte-diff mmap-vs-memory and scheduler-on-vs-off sweeps.  ``jobs`` (default:
     ``config.jobs``) > 1 executes cells in a thread pool — cells share
     only the immutable generated extension, so the result is identical
     to the sequential order.

@@ -40,6 +40,11 @@ class FaultyBackend(DiskBackend):
         self.inner = inner
         self.plan = plan
 
+    @property
+    def zero_copy(self) -> bool:
+        """Forward the inner backend's zero-copy contract (mmap etc.)."""
+        return self.inner.zero_copy
+
     # -- protocol ---------------------------------------------------------
 
     def allocate_run(self, start: int, count: int) -> None:

@@ -3,7 +3,10 @@
 Layered as a classical storage system:
 
 * :mod:`repro.storage.backends` — pluggable page-byte stores
-  (in-memory, file-backed via ``pread``/``pwrite``, trace-recording),
+  (in-memory, file-backed via ``pread``/``pwrite``, zero-copy ``mmap``,
+  ``O_DIRECT``, trace-recording),
+* :mod:`repro.storage.iosched` — cross-session I/O coalescing below
+  the accounting layer (fewer, larger backend calls; same counters),
 * :mod:`repro.storage.disk` — simulated disk with I/O-call accounting,
 * :mod:`repro.storage.buffer` — fixed-capacity buffer manager with
   pluggable replacement and fix accounting,
@@ -22,9 +25,11 @@ from __future__ import annotations
 
 from repro.storage.backends import (
     BACKEND_NAMES,
+    DirectBackend,
     DiskBackend,
     FileBackend,
     MemoryBackend,
+    MmapBackend,
     TraceBackend,
     TraceEvent,
     load_trace,
@@ -47,6 +52,7 @@ from repro.storage.constants import (
 )
 from repro.storage.disk import DiskGeometry, DiskSnapshot, SimulatedDisk
 from repro.storage.heap import HeapFile
+from repro.storage.iosched import IOScheduler
 from repro.storage.journal import (
     IntentJournal,
     JournalRecord,
@@ -74,13 +80,20 @@ class StorageEngine:
         policy: str = "lru",
         backend: str | DiskBackend = "memory",
         backend_path: str | None = None,
+        io_scheduler: bool = False,
     ) -> None:
         self.metrics = MetricsCollector()
+        resolved = make_backend(backend, page_size, path=backend_path)
+        self.io_scheduler: IOScheduler | None = None
+        if io_scheduler:
+            # The scheduler decorates the backend BELOW the simulated
+            # disk's accounting, so the paper's counters cannot move;
+            # only the number (and size) of real backend calls changes.
+            resolved = self.io_scheduler = IOScheduler(resolved)
         self.disk = SimulatedDisk(
             page_size=page_size,
             metrics=self.metrics,
-            backend=backend,
-            backend_path=backend_path,
+            backend=resolved,
         )
         self.buffer = BufferManager(self.disk, capacity=buffer_pages, policy=policy)
         self.page_size = page_size
@@ -160,6 +173,12 @@ class StorageEngine:
         re-remapping an already-updated table is a no-op.
         """
         self.buffer.crash_reset()
+        if self.io_scheduler is not None:
+            # Staged-but-unissued writes are RAM and die with the crash;
+            # only what reached the inner backend survives.  (Benchmark
+            # configs reject scheduler + faults outright; this covers
+            # manual compositions.)
+            self.io_scheduler.drop_pending()
         replayed: list[tuple[str, int, str]] = []
         rolled_back: list[tuple[str, int, str]] = []
         forwarding: dict[str, dict] = {}
@@ -258,9 +277,12 @@ class StorageEngine:
 __all__ = [
     "BACKEND_NAMES",
     "BufferManager",
+    "DirectBackend",
     "DiskBackend",
     "FileBackend",
+    "IOScheduler",
     "MemoryBackend",
+    "MmapBackend",
     "TraceBackend",
     "TraceEvent",
     "load_trace",

@@ -10,6 +10,15 @@ Separating the two lets the same benchmark run against
 * :class:`FileBackend` — real ``os.pread``/``os.pwrite`` against a
   single backing file, so one simulated I/O call over a contiguous run
   of pages becomes one vectorized syscall on real hardware,
+* :class:`MmapBackend` — the backing file memory-mapped; reads return
+  **zero-copy** ``memoryview`` slices of the mapping (the buffer
+  manager keeps them as frame data until a frame is dirtied, see
+  :mod:`repro.storage.buffer`), writes are slice assignments into the
+  mapping — no read/write syscalls at all once the pages are mapped,
+* :class:`DirectBackend` — ``O_DIRECT`` file I/O through an aligned
+  bounce pool, so the measured wall clock excludes the OS page cache
+  (with a graceful buffered fallback where the filesystem refuses
+  direct I/O),
 * :class:`TraceBackend` — a decorator that forwards to an inner
   backend while recording every call to a replayable JSONL trace.
 
@@ -21,15 +30,22 @@ underneath — the whole point of the comparison.
 
 from __future__ import annotations
 
+import errno
 import io
 import json
+import mmap
 import os
 import tempfile
 import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence, TypeAlias
 
-from repro.errors import StorageError
+try:  # pragma: no cover - fcntl exists on every POSIX platform we run on
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import InvalidAddressError, StorageError
 from repro.storage.constants import PAGE_SIZE
 
 #: Whether the platform offers one-syscall vectored positional I/O.
@@ -51,10 +67,25 @@ _IOV_MAX = _iov_max()
 #: single-read(2) limit; short reads are looped over regardless).
 _SNAPSHOT_CHUNK = 128 * 1024 * 1024
 
+#: Initial capacity (in pages) of the mmap backend's mapping; the
+#: mapping doubles whenever an allocation outgrows it, so remaps are
+#: O(log n) over an engine's lifetime.
+_MMAP_INITIAL_PAGES = 64
+
+#: O_DIRECT transfer alignment (offset and length): the logical block
+#: size of virtually every device.  Memory alignment is stricter in
+#: principle, which is why the bounce pool allocates page-aligned
+#: anonymous mappings rather than malloc'd bytes.
+_DIRECT_ALIGN = 512
+
+#: Per-syscall transfer ceiling of the O_DIRECT bounce pool (one pool
+#: buffer serves reads and writes; stretches longer than this loop).
+_DIRECT_CHUNK = 32 * 1024 * 1024
+
 #: Backend names accepted by :func:`make_backend` (and therefore by
 #: ``StorageEngine(backend=...)``, ``BenchmarkConfig.backend`` and the
 #: CLI ``--backend`` flag).
-BACKEND_NAMES = ("memory", "file", "trace")
+BACKEND_NAMES = ("memory", "file", "mmap", "direct", "trace")
 
 
 #: A backend snapshot image: a dense tuple of page images indexed by
@@ -85,6 +116,14 @@ class DiskBackend:
 
     #: Registry name of the backend class ("memory", "file", ...).
     name = "abstract"
+
+    #: Whether ``read_run`` returns zero-copy ``memoryview`` slices of
+    #: backend-owned storage instead of independent ``bytes``.  The
+    #: buffer manager consults this to keep such views as frame data
+    #: (copy-on-write materialisation on the first mutation) instead of
+    #: copying every miss into a fresh bytearray.  Decorator backends
+    #: forward their inner backend's value.
+    zero_copy = False
 
     def allocate_run(self, start: int, count: int) -> None:
         """Provide zeroed storage for pages ``start .. start+count-1``."""
@@ -257,22 +296,7 @@ class FileBackend(DiskBackend):
         fd = self._require_open()
         out: dict[int, bytes] = {}
         for stretch in contiguous_runs(page_ids, max_len=_IOV_MAX):
-            offset = stretch[0] * self.page_size
-            if _HAS_VECTORED:
-                buffers = [bytearray(self.page_size) for _ in stretch]
-                got = os.preadv(fd, buffers, offset)
-                images = [bytes(buf) for buf in buffers]
-            else:  # pragma: no cover - non-vectored platforms
-                blob = os.pread(fd, len(stretch) * self.page_size, offset)
-                got = len(blob)
-                images = [
-                    blob[i * self.page_size : (i + 1) * self.page_size]
-                    for i in range(len(stretch))
-                ]
-            if got != len(stretch) * self.page_size:
-                raise StorageError(
-                    f"short read at page {stretch[0]}: {got} bytes"
-                )
+            images = self._read_stretch(fd, stretch[0], len(stretch))
             for page_id, image in zip(stretch, images):
                 out[page_id] = image
         return [out[page_id] for page_id in page_ids]
@@ -361,8 +385,26 @@ class FileBackend(DiskBackend):
 
     def _require_open(self) -> int:
         if self._fd is None:
-            raise StorageError("file backend is closed")
+            raise StorageError(f"{self.name} backend is closed")
         return self._fd
+
+    def _read_stretch(self, fd: int, start: int, count: int) -> list[bytes]:
+        """One contiguous read of ``count`` pages at page ``start``."""
+        page_size = self.page_size
+        offset = start * page_size
+        if _HAS_VECTORED:
+            buffers = [bytearray(page_size) for _ in range(count)]
+            got = os.preadv(fd, buffers, offset)
+            images = [bytes(buf) for buf in buffers]
+        else:  # pragma: no cover - non-vectored platforms
+            blob = os.pread(fd, count * page_size, offset)
+            got = len(blob)
+            images = [
+                blob[i * page_size : (i + 1) * page_size] for i in range(count)
+            ]
+        if got != count * page_size:
+            raise StorageError(f"short read at page {start}: {got} bytes")
+        return images
 
     def _write_stretch(self, fd: int, start: int, images: Sequence[bytes]) -> None:
         for base in range(0, len(images), _IOV_MAX):
@@ -377,6 +419,364 @@ class FileBackend(DiskBackend):
                     f"short write at page {start + base}: {written} bytes"
                 )
         self._size_pages = max(self._size_pages, start + len(images))
+
+
+class MmapBackend(FileBackend):
+    """The backing file memory-mapped: reads are zero-copy, writes are
+    slice assignments — no per-run syscalls at all.
+
+    ``read_run`` returns read-only ``memoryview`` slices of the mapping
+    (one slice per page, so contiguity is irrelevant); the buffer
+    manager keeps those views as frame data and only materialises a
+    private ``bytearray`` when a frame is first dirtied
+    (:attr:`zero_copy`).  ``write_run`` assigns into the mapping, which
+    is ``MAP_SHARED`` over the backing file, so :meth:`sync` (mmap
+    flush + fsync) still gives file-backed durability.
+
+    Growth remaps: the mapping's capacity doubles whenever an
+    allocation outgrows it.  Outgrown mappings are *retired*, not
+    closed — frames may still hold exported views into them, and
+    ``MAP_SHARED`` mappings of one file are coherent, so a retired
+    view keeps seeing the current page bytes.  Retired mappings are
+    closed at :meth:`close` (or left to the garbage collector if views
+    are still exported then).
+
+    File lifecycle (anonymous tempfile vs named path, O_TRUNC,
+    unlink-on-close, context manager) is inherited from
+    :class:`FileBackend`.
+    """
+
+    name = "mmap"
+    zero_copy = True
+
+    def __init__(
+        self,
+        page_size: int = PAGE_SIZE,
+        path: str | None = None,
+        fsync: bool = False,
+    ) -> None:
+        super().__init__(page_size, path=path, fsync=fsync)
+        self._map: mmap.mmap | None = None
+        self._view: memoryview | None = None
+        self._retired: list[mmap.mmap] = []
+        self._capacity_pages = 0
+
+    # -- protocol ---------------------------------------------------------
+
+    def allocate_run(self, start: int, count: int) -> None:
+        self._require_open()
+        end = start + count
+        self._ensure_capacity(end)
+        # ftruncate (inside the remap) zero-fills everything beyond the
+        # old end-of-file; recycled pages below the high-water mark must
+        # be re-zeroed explicitly, exactly as in FileBackend.
+        recycled_end = min(end, self._size_pages)
+        if start < recycled_end:
+            page_size = self.page_size
+            self._map[start * page_size : recycled_end * page_size] = bytes(
+                (recycled_end - start) * page_size
+            )
+        self._size_pages = max(self._size_pages, end)
+
+    def read_run(self, page_ids: Sequence[int]) -> list[bytes]:
+        self._require_open()
+        view = self._view
+        if view is None:
+            raise StorageError("mmap backend holds no pages yet")
+        page_size = self.page_size
+        return [
+            view[page_id * page_size : (page_id + 1) * page_size]
+            for page_id in page_ids
+        ]
+
+    def write_run(self, items: Sequence[tuple[int, bytes]]) -> None:
+        self._require_open()
+        mapping = self._map
+        if mapping is None:
+            raise StorageError("mmap backend holds no pages yet")
+        page_size = self.page_size
+        for page_id, data in items:
+            offset = page_id * page_size
+            mapping[offset : offset + page_size] = data
+        if self.fsync:
+            mapping.flush()
+
+    def snapshot(self) -> PageImage:
+        self._require_open()
+        mapping = self._map
+        if mapping is None:
+            return ()
+        page_size = self.page_size
+        return tuple(
+            mapping[index * page_size : (index + 1) * page_size]
+            for index in range(self._size_pages)
+        )
+
+    def restore(self, image: PageImage) -> None:
+        self._require_open()
+        count = len(image)
+        self._size_pages = count
+        if not count:
+            return
+        self._ensure_capacity(count)
+        mapping = self._map
+        page_size = self.page_size
+        zero = bytes(page_size)
+        position = 0
+        for page in image:
+            mapping[position : position + page_size] = (
+                zero if page is None else page
+            )
+            position += page_size
+
+    def sync(self) -> None:
+        if self._fd is not None:
+            if self._map is not None:
+                self._map.flush()
+            os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd is None:
+            return
+        self._view = None
+        mapping, self._map = self._map, None
+        if mapping is not None:
+            self._retired.append(mapping)
+        still_exported: list[mmap.mmap] = []
+        for retired in self._retired:
+            try:
+                retired.close()
+            except BufferError:
+                # Exported frame views keep the mapping alive; dropping
+                # our reference leaves cleanup to their refcounts.
+                still_exported.append(retired)
+        self._retired = still_exported
+        self._capacity_pages = 0
+        super().close()
+
+    # -- internals --------------------------------------------------------
+
+    def _ensure_capacity(self, pages: int) -> None:
+        if pages <= self._capacity_pages:
+            return
+        capacity = max(self._capacity_pages, _MMAP_INITIAL_PAGES)
+        while capacity < pages:
+            capacity *= 2
+        self._remap(capacity)
+
+    def _remap(self, capacity_pages: int) -> None:
+        fd = self._require_open()
+        os.ftruncate(fd, capacity_pages * self.page_size)
+        self._view = None
+        old, self._map = self._map, None
+        if old is not None:
+            try:
+                old.close()
+            except BufferError:
+                self._retired.append(old)
+        self._map = mmap.mmap(fd, capacity_pages * self.page_size)
+        self._view = memoryview(self._map).toreadonly()
+        self._capacity_pages = capacity_pages
+
+
+class DirectBackend(FileBackend):
+    """``O_DIRECT`` file I/O: every transfer bypasses the OS page cache.
+
+    Direct I/O requires aligned everything — file offset, transfer
+    length and the *user memory* the kernel DMAs into.  Offsets and
+    lengths are page-sized (the constructor insists ``page_size`` is a
+    multiple of the 512-byte logical block); memory alignment comes
+    from a reusable *bounce pool*: one anonymous ``mmap`` (page-aligned
+    by construction) that reads land in and writes are staged through,
+    grown geometrically and reused across calls.
+
+    ``fallback=True`` (the default) degrades gracefully to buffered
+    I/O — identical bytes, identical counters, just page-cached — when
+    the platform or filesystem refuses direct I/O (tmpfs, overlayfs,
+    page size not block-aligned, no ``O_DIRECT`` at all).
+    :attr:`o_direct` tells whether direct I/O is actually active and
+    :attr:`fallback_reason` why not; CI probes these to skip loudly
+    rather than silently measure the page cache.  ``fallback=False``
+    raises :class:`~repro.errors.StorageError` instead of degrading.
+    """
+
+    name = "direct"
+
+    def __init__(
+        self,
+        page_size: int = PAGE_SIZE,
+        path: str | None = None,
+        fsync: bool = False,
+        fallback: bool = True,
+    ) -> None:
+        super().__init__(page_size, path=path, fsync=fsync)
+        self.fallback = fallback
+        self.o_direct = False
+        self.fallback_reason: str | None = None
+        self._bounce: mmap.mmap | None = None
+        self._bounce_len = 0
+        if fcntl is None or not hasattr(os, "O_DIRECT"):  # pragma: no cover
+            self._note_fallback("platform lacks O_DIRECT")
+        elif page_size % _DIRECT_ALIGN:
+            self._note_fallback(
+                f"page size {page_size} is not a multiple of {_DIRECT_ALIGN}"
+            )
+        else:
+            try:
+                flags = fcntl.fcntl(self._fd, fcntl.F_GETFL)
+                fcntl.fcntl(self._fd, fcntl.F_SETFL, flags | os.O_DIRECT)
+                if fcntl.fcntl(self._fd, fcntl.F_GETFL) & os.O_DIRECT:
+                    self.o_direct = True
+                else:  # pragma: no cover - kernels that silently ignore
+                    self._note_fallback("kernel ignored F_SETFL O_DIRECT")
+            except OSError as exc:
+                self._note_fallback(f"filesystem refused O_DIRECT: {exc}")
+        if not self.o_direct and not fallback:
+            self.close()
+            raise StorageError(
+                f"O_DIRECT unavailable ({self.fallback_reason}) and "
+                "fallback is disabled"
+            )
+
+    @staticmethod
+    def probe(directory: str | None = None, page_size: int = 4096) -> bool:
+        """Whether direct I/O actually works on ``directory``'s filesystem.
+
+        Exercises a real allocate/write/read round trip through a
+        throwaway backend (the ``F_SETFL`` handshake can succeed on
+        filesystems that later reject the transfers), so the answer
+        reflects transfers, not flags.  Used by CI to decide between
+        running the O_DIRECT gate and skipping it loudly.
+        """
+        fd, path = tempfile.mkstemp(
+            prefix="repro-odirect-probe-", suffix=".pages", dir=directory
+        )
+        os.close(fd)
+        try:
+            with DirectBackend(page_size, path=path) as backend:
+                backend.allocate_run(0, 4)
+                payload = bytes(range(256)) * (page_size // 256)
+                backend.write_run([(1, payload)])
+                if bytes(backend.read_run([1])[0]) != payload:
+                    return False
+                return backend.o_direct
+        except StorageError:  # pragma: no cover - hostile filesystems
+            return False
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover
+                pass
+
+    def close(self) -> None:
+        if self._bounce is not None:
+            self._bounce.close()
+            self._bounce = None
+            self._bounce_len = 0
+        super().close()
+
+    # -- internals --------------------------------------------------------
+
+    def _note_fallback(self, reason: str) -> None:
+        self.o_direct = False
+        self.fallback_reason = reason
+
+    def _disable_o_direct(self, reason: str) -> None:
+        """Drop to buffered I/O mid-flight (EINVAL from a transfer)."""
+        if self._fd is not None and fcntl is not None:
+            try:
+                flags = fcntl.fcntl(self._fd, fcntl.F_GETFL)
+                fcntl.fcntl(self._fd, fcntl.F_SETFL, flags & ~os.O_DIRECT)
+            except OSError:  # pragma: no cover
+                pass
+        self._note_fallback(reason)
+
+    def _bounce_for(self, nbytes: int) -> mmap.mmap:
+        if self._bounce is None or self._bounce_len < nbytes:
+            if self._bounce is not None:
+                self._bounce.close()
+            size = max(nbytes, 1 << 20)
+            self._bounce = mmap.mmap(-1, size)
+            self._bounce_len = size
+        return self._bounce
+
+    def _read_stretch(self, fd: int, start: int, count: int) -> list[bytes]:
+        if not self.o_direct:
+            return super()._read_stretch(fd, start, count)
+        page_size = self.page_size
+        chunk_pages = max(1, _DIRECT_CHUNK // page_size)
+        images: list[bytes] = []
+        for base in range(0, count, chunk_pages):
+            n = min(chunk_pages, count - base)
+            nbytes = n * page_size
+            view = memoryview(self._bounce_for(nbytes))[:nbytes]
+            try:
+                got = os.preadv(fd, [view], (start + base) * page_size)
+            except OSError as exc:
+                view.release()
+                if exc.errno == errno.EINVAL and self.fallback:
+                    self._disable_o_direct(f"preadv rejected direct I/O: {exc}")
+                    images.extend(
+                        super()._read_stretch(fd, start + base, count - base)
+                    )
+                    return images
+                raise
+            if got != nbytes:
+                view.release()
+                raise StorageError(
+                    f"short read at page {start + base}: {got} bytes"
+                )
+            images.extend(
+                bytes(view[i * page_size : (i + 1) * page_size])
+                for i in range(n)
+            )
+            view.release()
+        return images
+
+    def _write_stretch(self, fd: int, start: int, images: Sequence[bytes]) -> None:
+        if not self.o_direct:
+            super()._write_stretch(fd, start, images)
+            return
+        page_size = self.page_size
+        chunk_pages = max(1, _DIRECT_CHUNK // page_size)
+        for base in range(0, len(images), chunk_pages):
+            chunk = images[base : base + chunk_pages]
+            nbytes = len(chunk) * page_size
+            bounce = self._bounce_for(nbytes)
+            position = 0
+            for data in chunk:
+                bounce[position : position + page_size] = data
+                position += page_size
+            view = memoryview(bounce)[:nbytes]
+            try:
+                written = os.pwritev(fd, [view], (start + base) * page_size)
+            except OSError as exc:
+                view.release()
+                if exc.errno == errno.EINVAL and self.fallback:
+                    self._disable_o_direct(f"pwritev rejected direct I/O: {exc}")
+                    super()._write_stretch(fd, start + base, images[base:])
+                    return
+                raise
+            view.release()
+            if written != nbytes:
+                raise StorageError(
+                    f"short write at page {start + base}: {written} bytes"
+                )
+        self._size_pages = max(self._size_pages, start + len(images))
+
+    def snapshot(self) -> PageImage:
+        if not self.o_direct:
+            return super().snapshot()
+        # The buffered snapshot path reads into malloc'd (unaligned)
+        # memory, which direct I/O rejects; reuse the aligned stretch
+        # reader instead.
+        fd = self._require_open()
+        images: list[bytes] = []
+        chunk_pages = max(1, _DIRECT_CHUNK // self.page_size)
+        for base in range(0, self._size_pages, chunk_pages):
+            count = min(chunk_pages, self._size_pages - base)
+            images.extend(self._read_stretch(fd, base, count))
+        return tuple(images)
 
 
 @dataclass(frozen=True)
@@ -432,6 +832,11 @@ class TraceBackend(DiskBackend):
         if path is not None:
             self._file = open(path, "w", encoding="utf-8")
         self._t0: float | None = None
+
+    @property
+    def zero_copy(self) -> bool:
+        """Forward the inner backend's zero-copy contract (mmap etc.)."""
+        return self.inner.zero_copy
 
     # -- protocol ---------------------------------------------------------
 
@@ -604,8 +1009,9 @@ def make_backend(
 ) -> DiskBackend:
     """Instantiate a backend from a name (or pass an instance through).
 
-    ``path`` is the backing file for ``file`` and the JSONL output for
-    ``trace`` (which wraps a fresh :class:`MemoryBackend`).
+    ``path`` is the backing file for ``file``/``mmap``/``direct`` and
+    the JSONL output for ``trace`` (which wraps a fresh
+    :class:`MemoryBackend`).
     """
     if isinstance(spec, DiskBackend):
         return spec
@@ -613,6 +1019,10 @@ def make_backend(
         return MemoryBackend(page_size)
     if spec == "file":
         return FileBackend(page_size, path=path)
+    if spec == "mmap":
+        return MmapBackend(page_size, path=path)
+    if spec == "direct":
+        return DirectBackend(page_size, path=path)
     if spec == "trace":
         return TraceBackend(MemoryBackend(page_size), path=path)
     raise StorageError(
@@ -627,9 +1037,13 @@ def contiguous_runs(
 
     ``max_len`` caps a run's length (the buffer manager's write-batch
     limit); None = unbounded (the file backend's syscall grouping).
+    Negative page ids are addressing bugs, not data, and raise
+    :class:`~repro.errors.InvalidAddressError`.
     """
     run: list[int] = []
     for page_id in page_ids:
+        if page_id < 0:
+            raise InvalidAddressError(f"negative page id {page_id}")
         if run and (
             page_id != run[-1] + 1 or (max_len is not None and len(run) >= max_len)
         ):

@@ -79,6 +79,16 @@ class _Frame:
         self.view_gen = -1
         self.owners = None
 
+    def adopt(self, data: bytearray) -> None:
+        """Land a copy-on-write materialisation (see ``zero_copy``).
+
+        The cached view just swapped itself onto a private ``bytearray``
+        copy of the frame's read-only mapping slice; the frame follows.
+        No generation bump: the view performing the copy *is* the cached
+        view, and its header cache stays coherent by construction.
+        """
+        self.data = data
+
 
 class ReplacementPolicy:
     """Strategy interface for victim selection.
@@ -454,6 +464,12 @@ class BufferManager:
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.policy.bind_capacity(capacity)
         self._frames: dict[int, _Frame] = {}
+        # Zero-copy backends (mmap) return read-only memoryview slices
+        # of their mapping; the miss paths keep those views as frame
+        # data instead of copying into a bytearray, and a frame only
+        # materialises a private copy when it is first mutated
+        # (SlottedPage copy-on-write, ``page_data``, or seal-on-write).
+        self._zero_copy = disk.backend.zero_copy
         # Observation hooks: callables invoked with the page id of
         # **every** fix (hits, misses, batched fixes and fresh pages
         # alike).  Listeners fire in registration order, must only
@@ -507,9 +523,18 @@ class BufferManager:
                     )
                 return
 
-    def _seal_for_write(self, page_id: int, data: bytearray) -> None:
+    def _seal_for_write(self, page_id: int, frame: _Frame) -> None:
         for guard in self._checksum_guards:
             if page_id in guard:
+                data = frame.data
+                if type(data) is not bytearray:
+                    # Dirty-but-unmutated zero-copy frame (e.g. a failed
+                    # insert unfixed dirty): sealing stamps the CRC, so
+                    # materialise a private copy first and invalidate
+                    # the cached view, which aliases the old buffer.
+                    data = bytearray(data)
+                    frame.data = data
+                    frame.gen += 1
                 seal_page(data)
                 return
 
@@ -611,7 +636,8 @@ class BufferManager:
             return frame.data
         if len(self._frames) >= self.capacity:
             self._make_room(1)
-        data = bytearray(self.disk.read_page(page_id))
+        content = self.disk.read_page(page_id)
+        data = content if self._zero_copy else bytearray(content)
         if self._checksum_guards:
             self._verify_read(page_id, data)
         frame = _Frame(data)
@@ -643,10 +669,13 @@ class BufferManager:
                 self._make_room(len(missing))
                 contents = self.disk.read_pages(missing)
                 verify = bool(self._checksum_guards)
+                zero_copy = self._zero_copy
                 for pid, content in zip(missing, contents):
                     if verify:
                         self._verify_read(pid, content)
-                    self._frames[pid] = _Frame(bytearray(content))
+                    self._frames[pid] = _Frame(
+                        content if zero_copy else bytearray(content)
+                    )
                     self.policy.on_insert(pid)
         finally:
             for pid in resident:
@@ -705,6 +734,8 @@ class BufferManager:
             raise InvalidAddressError(f"page {page_id} is not resident")
         if frame.fix_count <= 0:
             raise BufferError_(f"page {page_id} is not fixed")
+        if type(frame.data) is not bytearray:
+            frame.data = bytearray(frame.data)  # copy-on-write materialise
         frame.gen += 1
         return frame.data
 
@@ -735,7 +766,17 @@ class BufferManager:
     def _view(self, frame: _Frame) -> SlottedPage:
         view = frame.view
         if view is None or frame.view_gen != frame.gen:
-            view = frame.view = SlottedPage(frame.data, self.disk.page_size)
+            data = frame.data
+            if type(data) is bytearray:
+                view = SlottedPage(data, self.disk.page_size)
+            else:
+                # Zero-copy frame: the view reads the mapping slice in
+                # place and lands its copy-on-write materialisation back
+                # on the frame when (if ever) it is mutated.
+                view = SlottedPage(
+                    data, self.disk.page_size, on_write=frame.adopt
+                )
+            frame.view = view
             frame.view_gen = frame.gen
         return view
 
@@ -877,7 +918,7 @@ class BufferManager:
         if frame is None:
             raise InvalidAddressError(f"page {page_id} is not resident")
         if self._checksum_guards:
-            self._seal_for_write(page_id, frame.data)
+            self._seal_for_write(page_id, frame)
         self.disk.write_page(page_id, bytes(frame.data))
         frame.dirty = False
 
@@ -904,7 +945,7 @@ class BufferManager:
         for batch in _contiguous_batches(dirty, self.write_batch_max):
             if seal:
                 for pid in batch:
-                    self._seal_for_write(pid, self._frames[pid].data)
+                    self._seal_for_write(pid, self._frames[pid])
             self.disk.write_pages(
                 (pid, bytes(self._frames[pid].data)) for pid in batch
             )
@@ -973,7 +1014,7 @@ class BufferManager:
                 continue
             if frame.dirty:
                 if self._checksum_guards:
-                    self._seal_for_write(pid, frame.data)
+                    self._seal_for_write(pid, frame)
                 self.disk.write_page(pid, bytes(frame.data))
             del self._frames[pid]
             self.policy.on_evict(pid)

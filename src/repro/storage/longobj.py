@@ -274,13 +274,16 @@ class LongObjectStore:
                 "replace() requires structure-preserving updates (same section sizes)"
             )
         all_ids = list(address.header_page_ids) + list(directory.data_page_ids)
-        frames = self.buffer.fix_many(all_ids)
+        self.buffer.fix_many(all_ids)
         try:
             stream = b"".join(sections)
             payload = self.payload_per_page
             for index, pid in enumerate(directory.data_page_ids):
                 chunk = stream[index * payload : (index + 1) * payload]
-                frames[pid][PAGE_HEADER_SIZE : PAGE_HEADER_SIZE + len(chunk)] = chunk
+                # page_data, not the raw frame: zero-copy backends hand
+                # out read-only views, so mutation needs the private copy.
+                data = self.buffer.page_data(pid)
+                data[PAGE_HEADER_SIZE : PAGE_HEADER_SIZE + len(chunk)] = chunk
         finally:
             for pid in all_ids:
                 self.buffer.unfix(pid, dirty=True)
@@ -304,7 +307,7 @@ class LongObjectStore:
             raise StorageError("patch_section() requires a same-size section image")
         page_indexes = self._pages_for_sections(directory, [section_id])
         needed_ids = [directory.data_page_ids[i] for i in page_indexes]
-        frames = self.buffer.fix_many(needed_ids)
+        self.buffer.fix_many(needed_ids)
         try:
             payload = self.payload_per_page
             pos = start
@@ -313,7 +316,7 @@ class LongObjectStore:
                 in_page = pos - page_index * payload
                 take = min(end - pos, payload - in_page)
                 pid = directory.data_page_ids[page_index]
-                frames[pid][
+                self.buffer.page_data(pid)[
                     PAGE_HEADER_SIZE + in_page : PAGE_HEADER_SIZE + in_page + take
                 ] = new_bytes[pos - start : pos - start + take]
                 pos += take

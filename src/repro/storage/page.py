@@ -89,6 +89,8 @@ def page_is_intact(data: bytes | bytearray) -> bool:
     (stored,) = _CRC.unpack_from(data, _CRC_OFFSET)
     if stored == page_checksum(data):
         return True
+    if not isinstance(data, (bytes, bytearray)):
+        data = bytes(data)  # memoryview frames have no .count
     return data.count(0) == len(data)
 
 #: Precompiled whole-directory formats, keyed by slot count.  The
@@ -110,16 +112,31 @@ class SlottedPage:
     The view reads and writes the underlying ``bytearray`` in place, so
     a page fixed in the buffer manager can be edited and the frame
     marked dirty afterwards.
+
+    Zero-copy backends hand the buffer manager read-only
+    ``memoryview`` frames (see :mod:`repro.storage.backends`); a view
+    over one of those is copy-on-write.  Reads slice the mapping
+    directly; the first mutator call *materialises* a private
+    ``bytearray`` copy and reports it to ``on_write`` (the buffer
+    manager's hook that swaps the frame onto the copy).  A view over a
+    plain ``bytearray`` never copies and never calls the hook — the
+    original in-place behaviour.
     """
 
-    __slots__ = ("data", "page_size", "_n_slots", "_free", "_mv")
+    __slots__ = ("data", "page_size", "_n_slots", "_free", "_mv", "_on_write")
 
-    def __init__(self, data: bytearray, page_size: int = PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        data: bytearray | bytes | memoryview,
+        page_size: int = PAGE_SIZE,
+        on_write=None,
+    ) -> None:
         if len(data) != page_size:
             raise StorageError(f"page buffer of {len(data)} bytes, expected {page_size}")
         self.data = data
         self.page_size = page_size
         self._mv: memoryview | None = None
+        self._on_write = on_write
         magic, n_slots, free_start = _HEADER_UNPACK(data, 0)
         if magic != _MAGIC:
             self.format()
@@ -127,12 +144,24 @@ class SlottedPage:
             self._n_slots = n_slots
             self._free = free_start
 
+    def _writable(self) -> bytearray:
+        """The page buffer, materialised for mutation (copy-on-write)."""
+        data = self.data
+        if type(data) is not bytearray:
+            data = bytearray(data)
+            self.data = data
+            self._mv = None  # cached view aliases the old buffer
+            if self._on_write is not None:
+                self._on_write(data)
+        return data
+
     # -- header access -------------------------------------------------------
 
     def format(self) -> None:
         """Initialise an empty page (also re-syncs the header cache)."""
-        self.data[:PAGE_HEADER_SIZE] = bytes(PAGE_HEADER_SIZE)
-        _HEADER_PACK(self.data, 0, _MAGIC, 0, PAGE_HEADER_SIZE)
+        data = self._writable()
+        data[:PAGE_HEADER_SIZE] = bytes(PAGE_HEADER_SIZE)
+        _HEADER_PACK(data, 0, _MAGIC, 0, PAGE_HEADER_SIZE)
         self._n_slots = 0
         self._free = PAGE_HEADER_SIZE
 
@@ -202,7 +231,7 @@ class SlottedPage:
             raise StorageError("record too large for a 16-bit slot length")
         n_slots = self._n_slots
         free_start = self._free
-        self.data[free_start : free_start + length] = record
+        self._writable()[free_start : free_start + length] = record
         self._set_header(n_slots + 1, free_start + length)
         self._set_slot(n_slots, free_start, length)
         return n_slots
@@ -249,7 +278,7 @@ class SlottedPage:
         if offset == _TOMBSTONE:
             raise InvalidAddressError(f"slot {slot} is deleted")
         if len(record) <= length:
-            self.data[offset : offset + len(record)] = record
+            self._writable()[offset : offset + len(record)] = record
             self._set_slot(slot, offset, len(record))
             return
         # Need to relocate: tombstone the old copy, then append.  The
@@ -259,6 +288,7 @@ class SlottedPage:
         def _gap() -> int:
             return self.page_size - self._n_slots * SLOT_ENTRY_SIZE - self._free
 
+        self._writable()
         if len(record) > _gap():
             old = bytes(self.data[offset : offset + length])
             self.compact(skip_slot=slot)
@@ -284,10 +314,12 @@ class SlottedPage:
         offset, _ = self._slot(slot)
         if offset == _TOMBSTONE:
             raise InvalidAddressError(f"slot {slot} is already deleted")
+        self._writable()
         self._set_slot(slot, _TOMBSTONE, 0)
 
     def compact(self, skip_slot: int | None = None) -> None:
         """Slide live records together to defragment the record area."""
+        self._writable()
         records: list[tuple[int, bytes]] = []
         for slot, offset, length in self.slots():
             if slot == skip_slot:

@@ -19,6 +19,7 @@ BENCH_NAMES = {
     "read_many_zero_copy",
     "sweep_cell",
     "sweep_cell_snapshot",
+    "backend_io_wallclock",
     "serving_closed_loop",
     "drift_online_replay",
     "crash_recovery_replay",
@@ -51,6 +52,7 @@ class TestReport:
             "page_scan",
             "read_many_zero_copy",
             "sweep_cell_snapshot",
+            "backend_io_wallclock",
         ):
             assert report.result(name).reference_ms is not None
             assert report.result(name).speedup is not None
