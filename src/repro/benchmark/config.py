@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, ConfigError
 from repro.storage.backends import BACKEND_NAMES
 from repro.storage.buffer import POLICY_NAMES
 from repro.storage.constants import DEFAULT_BUFFER_PAGES, PAGE_SIZE
@@ -136,6 +136,25 @@ class BenchmarkConfig:
     #: build is not reusable).
     faults: str = "none"
 
+    #: Number of independent ``StorageEngine`` shards the extension's
+    #: OID space is partitioned across (default 1 = the classic
+    #: unsharded engine; every output stays byte-identical).  For N>1
+    #: the workload paths build N full replica engines — each with its
+    #: own buffer slice, disk backend, and counters — behind a
+    #: :class:`~repro.sharding.ShardedModel` facade that routes
+    #: single-object operations to their owning shard and
+    #: scatter-gathers scans over disjoint page partitions.  Refused in
+    #: combination with ``faults`` (crash points would fire on one
+    #: shard only), ``recluster`` (rid forwarding is per-engine) and
+    #: the ``trace`` backend (one JSONL stream cannot interleave N
+    #: engines replayably).
+    shards: int = 1
+
+    #: OID-space partitioning policy: "hash" (seeded crc32 scatter,
+    #: independent of ``PYTHONHASHSEED``) or "range" (contiguous
+    #: equal-width OID blocks).  Ignored when ``shards`` is 1.
+    shard_policy: str = "hash"
+
     # -- query workload -----------------------------------------------------
 
     #: Loops of queries 2b/3b; None = n_objects // 5 (the paper executes
@@ -193,12 +212,43 @@ class BenchmarkConfig:
 
         FaultPlan.parse(self.faults)
         if self.io_scheduler and self.faults != "none":
-            raise BenchmarkError(
+            raise ConfigError(
                 "io_scheduler cannot be combined with fault injection: "
                 "deferred writes staged in the scheduler's RAM would "
                 "survive a simulated crash, breaking the crash model "
                 "(only what reached the backend may survive)"
             )
+        # Deferred import: the sharding package builds on the storage
+        # layer and must stay importable without the benchmark package.
+        from repro.sharding.router import SHARD_POLICIES
+
+        if self.shards < 1:
+            raise ConfigError("shards must be at least 1")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ConfigError(
+                f"unknown shard policy {self.shard_policy!r} "
+                f"(known: {', '.join(SHARD_POLICIES)})"
+            )
+        if self.shards > 1:
+            if self.faults != "none":
+                raise ConfigError(
+                    "shards cannot be combined with fault injection: a "
+                    "crash point would fire on a single shard while its "
+                    "siblings keep serving, which the single-engine "
+                    "crash model cannot describe"
+                )
+            if self.recluster != "none":
+                raise ConfigError(
+                    "shards cannot be combined with reclustering: rid "
+                    "forwarding is per-engine and would desynchronise "
+                    "the shard replicas from the routing table"
+                )
+            if self.backend == "trace":
+                raise ConfigError(
+                    "shards cannot be combined with the trace backend: "
+                    "one JSONL stream cannot interleave N engines' "
+                    "calls replayably"
+                )
 
     @property
     def effective_loops(self) -> int:

@@ -100,6 +100,8 @@ class BenchmarkRunner:
         ``model.engine.close()`` when done (run_model does this), so
         file-backed engines release their backing files.
         """
+        if self.config.shards > 1:
+            return self._build_sharded(name)
         if self.snapshots_active:
             snapshot = DEFAULT_STORE.get(
                 self.config, name, lambda: self.stations, self.fmt
@@ -148,6 +150,80 @@ class BenchmarkRunner:
         model = create_model(name, engine, self.fmt)
         model.load(self.stations)
         return model
+
+    def _build_sharded(self, name: str) -> StorageModel:
+        """N full-replica shards behind a scatter-gather facade.
+
+        Every shard restores the *same* canonical snapshot (the cache
+        key excludes buffer and shard knobs, so one build serves all
+        clones) onto its own engine, with the configured buffer budget
+        split across the shards and per-shard backend files.  Without
+        snapshots each replica is rebuilt independently — bit-identical
+        pages either way, as the snapshot parity suite guarantees.
+        """
+        from repro.models.registry import create_model as _create
+        from repro.sharding import (
+            ShardRouter,
+            ShardedEngine,
+            ShardedModel,
+            split_buffer_pages,
+        )
+
+        config = self.config
+        router = ShardRouter(
+            n_objects=config.n_objects,
+            n_shards=config.shards,
+            policy=config.shard_policy,
+            seed=config.seed,
+        )
+        buffers = split_buffer_pages(config.buffer_pages, config.shards)
+        replicas: list[StorageModel] = []
+        try:
+            for index in range(config.shards):
+                backend_path = self._backend_path_for(f"{name}-shard{index}")
+                if self.snapshots_active:
+                    snapshot = DEFAULT_STORE.get(
+                        config, name, lambda: self.stations, self.fmt
+                    )
+                    replica = DEFAULT_STORE.clone(
+                        snapshot,
+                        config.with_changes(buffer_pages=buffers[index]),
+                        fmt=self.fmt,
+                        backend_path=backend_path,
+                    )
+                else:
+                    engine = StorageEngine(
+                        page_size=config.page_size,
+                        buffer_pages=buffers[index],
+                        policy=config.policy,
+                        backend=config.backend,
+                        backend_path=backend_path,
+                        io_scheduler=config.io_scheduler,
+                    )
+                    try:
+                        replica = _create(name, engine, self.fmt)
+                        replica.load(self.stations)
+                    except Exception:
+                        engine.close()
+                        raise
+                replicas.append(replica)
+            sharded_engine = ShardedEngine([r.engine for r in replicas])
+            return ShardedModel(replicas, sharded_engine, router)
+        except Exception:
+            for replica in replicas:
+                replica.engine.close()
+            raise
+
+    @staticmethod
+    def _attach_sharding(model: StorageModel, result: WorkloadResult) -> WorkloadResult:
+        """Attach the per-shard drill-down to a sharded run's result."""
+        from dataclasses import replace
+
+        from repro.sharding import ShardedModel
+
+        if isinstance(model, ShardedModel):
+            return replace(result, sharding=model.sharding_report())
+        return result
 
     @property
     def snapshots_active(self) -> bool:
@@ -247,7 +323,7 @@ class BenchmarkRunner:
                 retry_limit=self._retry_limit(),
             )
             with self._armed(model):
-                return executor.run()
+                return self._attach_sharding(model, executor.run())
         finally:
             model.engine.close()
 
@@ -286,7 +362,13 @@ class BenchmarkRunner:
                 online=self._online_controller(model),
             )
             with self._armed(model):
-                return executor.run()
+                serving = executor.run()
+            attached = self._attach_sharding(model, serving.result)
+            if attached is not serving.result:
+                from dataclasses import replace
+
+                serving = replace(serving, result=attached)
+            return serving
         finally:
             model.engine.close()
 

@@ -57,6 +57,12 @@ SKEWS = ("uniform", "zipf")
 #: ``drift_period`` operations.
 DRIFTS = ("none", "step", "rotate", "expand")
 
+#: Recognised application-scenario trace compilers ("none" = the mix/
+#: skew compiler below).  Scenario traces come from small deterministic
+#: application simulations (ticket holds, activity feeds) instead of
+#: independent draws — see :mod:`repro.benchmark.scenarios`.
+SCENARIOS = ("none", "ticket-inventory", "activity-stream")
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -87,6 +93,17 @@ class WorkloadSpec:
     #: Fraction of the OID space inside the hot window (ignored when
     #: ``drift == "none"``); the skew applies *within* the window.
     hot_fraction: float = 0.1
+    #: Application scenario compiling the trace ("none" = the mix/skew
+    #: compiler; traces of scenario-free specs stay byte-identical to
+    #: specs that predate these fields).
+    scenario: str = "none"
+    #: Size of the scenario's hot record block (contiguous low OIDs, so
+    #: a range shard policy colocates it while hash scatters it);
+    #: 0 = a scenario-chosen default.
+    scenario_records: int = 0
+    #: Ticket scenario only: operations a hold survives before it
+    #: expires back to available.
+    hold_ops: int = 25
 
     def __post_init__(self) -> None:
         weights = self.mix()
@@ -112,6 +129,19 @@ class WorkloadSpec:
             raise BenchmarkError("drift_period must be at least 1")
         if not 0.0 < self.hot_fraction <= 1.0:
             raise BenchmarkError("hot_fraction must be within (0, 1]")
+        if self.scenario not in SCENARIOS:
+            raise BenchmarkError(
+                f"unknown scenario {self.scenario!r} (known: {', '.join(SCENARIOS)})"
+            )
+        if self.scenario_records < 0:
+            raise BenchmarkError("scenario_records must be non-negative")
+        if self.hold_ops < 1:
+            raise BenchmarkError("hold_ops must be at least 1")
+        if self.scenario != "none" and self.drift != "none":
+            raise BenchmarkError(
+                "a scenario compiles its own trace; it cannot be combined "
+                "with a drift schedule"
+            )
 
     def mix(self) -> dict[str, float]:
         """Operation-kind weights keyed by :data:`OP_KINDS` entry."""
@@ -139,6 +169,12 @@ class WorkloadSpec:
                 f", drift {self.drift}"
                 f"(period={self.drift_period}, window={self.hot_fraction:g})"
             )
+        if self.scenario != "none":
+            # Same conditional-emission discipline as drift: scenario-free
+            # specs keep describing themselves byte-for-byte as before.
+            text += f", scenario {self.scenario}"
+            if self.scenario_records:
+                text += f"(records={self.scenario_records})"
         return text
 
 
@@ -257,6 +293,12 @@ def compile_trace(spec: WorkloadSpec, n_objects: int) -> WorkloadTrace:
     """
     if n_objects < 1:
         raise BenchmarkError("cannot compile a workload for an empty extension")
+    if spec.scenario != "none":
+        # Deferred import: the scenario compilers build Operation values
+        # from this module.
+        from repro.benchmark.scenarios import compile_scenario_trace
+
+        return compile_scenario_trace(spec, n_objects)
     rng = random.Random(spec.seed)
     mix = spec.mix()
     kinds = [k for k, w in mix.items() if w > 0]
@@ -302,6 +344,10 @@ class WorkloadResult:
     model_name: str
     raw: MetricsSnapshot
     op_counts: Mapping[str, int] = field(default_factory=dict)
+    #: Per-shard drill-down of a sharded run (a
+    #: :class:`~repro.sharding.model.ShardingReport`); None on the
+    #: single-engine path, so unsharded results are untouched.
+    sharding: Any = None
 
     @property
     def n_ops(self) -> int:
@@ -558,6 +604,17 @@ PRESET_WORKLOADS: dict[str, WorkloadSpec] = {
         update_weight=0.0,
         n_ops=4,
     ),
+    # Application scenarios (contended-hot-record and fan-out shapes);
+    # their traces come from deterministic simulations, see
+    # repro/benchmark/scenarios.py.
+    "ticket-inventory": WorkloadSpec(
+        name="ticket-inventory",
+        scenario="ticket-inventory",
+    ),
+    "activity-stream": WorkloadSpec(
+        name="activity-stream",
+        scenario="activity-stream",
+    ),
 }
 
 _KEY_FIELDS = {
@@ -573,6 +630,9 @@ _KEY_FIELDS = {
     "drift": "drift",
     "period": "drift_period",
     "window": "hot_fraction",
+    "scenario": "scenario",
+    "records": "scenario_records",
+    "hold": "hold_ops",
 }
 
 
@@ -630,10 +690,10 @@ def parse_workload(text: str) -> WorkloadSpec:
                         f"(known: {', '.join(_KEY_FIELDS)})"
                     ) from None
                 value = value.strip()
-                if fname in ("name", "skew", "drift"):
+                if fname in ("name", "skew", "drift", "scenario"):
                     spec = spec.with_changes(**{fname: value})
                     named = named or fname == "name"
-                elif fname in ("n_ops", "seed", "drift_period"):
+                elif fname in ("n_ops", "seed", "drift_period", "scenario_records", "hold_ops"):
                     spec = spec.with_changes(**{fname: int(value)})
                 else:
                     spec = spec.with_changes(**{fname: float(value)})

@@ -105,3 +105,18 @@ class UnsupportedOperationError(ModelError):
 
 class BenchmarkError(ReproError):
     """Benchmark configuration or execution failure."""
+
+
+class ConfigError(BenchmarkError):
+    """A benchmark configuration is invalid or combines incompatible knobs.
+
+    Raised at configuration time (``BenchmarkConfig.__post_init__``) for
+    refused knob compositions — e.g. ``io_scheduler`` with fault
+    injection, or sharding with faults/reclustering — so callers can
+    distinguish "you asked for an unsupported combination" from runtime
+    benchmark failures while still catching :class:`BenchmarkError`.
+    """
+
+
+class ShardingError(ReproError):
+    """Sharded engine misuse (bad router arguments, unprepared scans)."""

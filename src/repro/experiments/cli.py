@@ -33,6 +33,7 @@ from repro.storage.backends import BACKEND_NAMES
 from repro.storage.buffer import POLICY_NAMES
 from repro.clustering.placement import RECLUSTER_MODES
 from repro.serving.scheduler import SCHEDULER_NAMES
+from repro.sharding.router import SHARD_POLICIES
 from repro.experiments import (
     ablations,
     clustering,
@@ -41,6 +42,7 @@ from repro.experiments import (
     figure5,
     figure6,
     perf,
+    sharding,
     sweep,
     table2,
     table3,
@@ -67,6 +69,7 @@ EXPERIMENTS: dict[str, Callable[[BenchmarkConfig], str]] = {
     "clustering": clustering.render,
     "drift": drift.render,
     "sweep": sweep.render,
+    "sharding": sharding.render,
     "perf": perf.render,
 }
 
@@ -270,6 +273,30 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     group.add_argument(
+        "--shards",
+        nargs="+",
+        type=int,
+        default=list(sweep.DEFAULT_SHARDS),
+        metavar="N",
+        help=(
+            "shard axis of the sweep: each cell partitions the OID space "
+            "across N replica engines (own buffer, disk and counters) and "
+            "scatter-gathers scans and navigation across them (default: 1, "
+            "the single-engine path with byte-identical output; any other "
+            "axis adds a cross-shard-hop column and per-shard counter "
+            "drill-downs to the JSON)"
+        ),
+    )
+    group.add_argument(
+        "--shard-policy",
+        default=sweep.DEFAULT_SHARD_POLICY,
+        choices=SHARD_POLICIES,
+        help=(
+            "OID-to-shard assignment of sharded cells: 'hash' (seeded "
+            "CRC32 scatter, default) or 'range' (contiguous OID bands)"
+        ),
+    )
+    group.add_argument(
         "--processes",
         type=int,
         default=None,
@@ -348,6 +375,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--processes must be at least 1")
     if any(n < 1 for n in args.clients):
         parser.error("--clients must be positive session counts")
+    if any(n < 1 for n in args.shards):
+        parser.error("--shards must be positive shard counts")
     if args.serving_workers < 1:
         parser.error("--serving-workers must be at least 1")
     if args.perf_repeats is not None and args.perf_repeats < 1:
@@ -373,6 +402,8 @@ def main(argv: list[str] | None = None) -> int:
         clients=args.clients,
         scheduler=args.scheduler,
         serving_workers=args.serving_workers,
+        shards=args.shards,
+        shard_policy=args.shard_policy,
     )
     runners["perf"] = lambda cfg: perf.render(
         cfg,

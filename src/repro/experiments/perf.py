@@ -443,6 +443,35 @@ def _bench_sweep_cell(repeats: int) -> BenchResult:
     )
 
 
+def _bench_sharded_sweep(repeats: int) -> BenchResult:
+    """A sharded sweep cell: scatter-gather replay plus counter roll-up.
+
+    Times the reference sweep cell over four hash-routed shards — the
+    router, the per-owner batching, the partitioned scans and the live
+    counter aggregation all on the timed path.  The checksum covers the
+    cell's full JSON (aggregate counters **and** the per-shard
+    drill-down with the hop count), so neither the routing nor the
+    roll-up can move a paper-visible quantity silently.
+    """
+
+    def cell() -> str:
+        result = sweep.run_sweep(
+            PERF_SWEEP_CONFIG,
+            workloads=("uniform",),
+            capacities=(PERF_SWEEP_CONFIG.buffer_pages,),
+            policies=("lru",),
+            models=("DASDBS-NSM",),
+            shards=(4,),
+        )
+        return result.to_json()
+
+    cell_ms = _best_ms(cell, repeats)
+    checksum = _sha(cell().encode())
+    return BenchResult(
+        "sharded_sweep", PERF_SWEEP_CONFIG.n_objects, cell_ms, checksum
+    )
+
+
 def _bench_sweep_snapshot(repeats: int) -> BenchResult:
     """Clone-per-cell vs rebuild-per-cell on a multi-cell grid.
 
@@ -783,6 +812,7 @@ def run_perf(repeats: int = DEFAULT_REPEATS) -> PerfReport:
     results.append(_bench_buffer(repeats))
     results.append(_bench_read_many(repeats))
     results.append(_bench_sweep_cell(repeats))
+    results.append(_bench_sharded_sweep(repeats))
     results.append(_bench_sweep_snapshot(repeats))
     results.append(_bench_backend_io(repeats))
     results.append(_bench_serving(repeats))

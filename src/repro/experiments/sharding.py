@@ -1,0 +1,133 @@
+"""Sharding experiment: hot-block scenarios under hash vs range routing.
+
+The scale-out layer (:mod:`repro.sharding`) partitions the extension's
+OID space across N replica engines; what it cannot hide is *locality*.
+Both application scenarios of :mod:`repro.benchmark.scenarios` put
+their hot records on a contiguous low-OID block, so the two routing
+policies land on opposite ends of the locality spectrum:
+
+* ``range`` assigns contiguous OID bands, so the hot block — and with
+  it nearly all traffic — lands on few shards.  Consecutive operations
+  stay put and the ``cross_shard_hops`` counter barely moves;
+* ``hash`` scatters the block uniformly, so consecutive hot-record
+  operations almost always change owners and hops track the operation
+  count.
+
+This experiment replays the ticket-inventory and activity-stream
+scenarios over four shards under both policies and renders the
+per-shard drill-down: each shard's share of the objects, its page
+fixes, hits and I/O, its Equation-1 service time — and, per cell, the
+hop count that separates the policies.  The counters come from the
+same replica engines the sweep rolls up, so every row is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.config import BenchmarkConfig, DEFAULT_CONFIG
+from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.workload import (
+    PRESET_WORKLOADS,
+    WorkloadResult,
+    WorkloadSpec,
+    compile_trace,
+)
+from repro.experiments.report import render_table
+from repro.experiments.sweep import SWEEP_GEOMETRY
+from repro.sharding.router import SHARD_POLICIES
+
+#: Shard count of the comparison (enough shards that 'range' can
+#: isolate the hot tenth of the OID space on a single one).
+N_SHARDS = 4
+
+#: The model the scenarios replay on — the paper's DASDBS-like direct
+#: model, whose OID access keeps routing exact for every operation.
+SHARDING_MODEL = "DASDBS-DSM"
+
+#: The two contention shapes (see repro/benchmark/scenarios.py).
+SCENARIO_NAMES = ("ticket-inventory", "activity-stream")
+
+
+def operation_count(config: BenchmarkConfig) -> int:
+    """Trace length, scaled with the extension (bounded for wall clock)."""
+    return max(300, min(1200, 4 * config.n_objects))
+
+
+def scenario_spec(name: str, n_ops: int) -> WorkloadSpec:
+    """The scenario preset, sized for the experiment."""
+    return PRESET_WORKLOADS[name].with_changes(n_ops=n_ops)
+
+
+def run_scenario(
+    config: BenchmarkConfig, name: str, policy: str
+) -> WorkloadResult:
+    """One sharded scenario replay; the result carries the report."""
+    runner = BenchmarkRunner(
+        config.with_changes(shards=N_SHARDS, shard_policy=policy)
+    )
+    trace = compile_trace(
+        scenario_spec(name, operation_count(config)), config.n_objects
+    )
+    return runner.run_trace(SHARDING_MODEL, trace)
+
+
+def render(config: BenchmarkConfig = DEFAULT_CONFIG) -> str:
+    """Per-shard drill-down tables, one per scenario, both policies."""
+    n_ops = operation_count(config)
+    out = []
+    for name in SCENARIO_NAMES:
+        rows = []
+        hops = {}
+        for policy in SHARD_POLICIES:
+            result = run_scenario(config, name, policy)
+            report = result.sharding
+            hops[policy] = report.cross_shard_hops
+            for index, snapshot in enumerate(report.per_shard):
+                rows.append(
+                    [
+                        policy,
+                        index,
+                        report.objects[index],
+                        snapshot.page_fixes,
+                        snapshot.buffer_hits,
+                        snapshot.io_calls,
+                        snapshot.io_pages,
+                        SWEEP_GEOMETRY.service_time_of(snapshot),
+                        report.cross_shard_hops if index == 0 else None,
+                    ]
+                )
+        out.append(
+            render_table(
+                f"Sharding — {name} over {N_SHARDS} shards, "
+                f"{SHARDING_MODEL}, {n_ops} ops",
+                [
+                    "policy",
+                    "shard",
+                    "objects",
+                    "fixes",
+                    "hits",
+                    "io calls",
+                    "io pages",
+                    "svc ms",
+                    "hops",
+                ],
+                rows,
+                note=(
+                    "Every shard is a full replica with its own buffer "
+                    f"({config.buffer_pages} pages split across shards) "
+                    "and disk; 'objects' is the OID subset the router "
+                    "assigns it, and each operation runs on its owner. "
+                    "'hops' (one value per policy) counts ownership "
+                    "transfers between consecutive accesses: the "
+                    "scenario's hot records sit on contiguous low OIDs, "
+                    "so 'range' colocates them on one shard "
+                    f"({hops['range']} hops) while 'hash' scatters them "
+                    f"across all {N_SHARDS} ({hops['hash']} hops) — "
+                    "locality, not work, is what the policy moves: the "
+                    "summed counters match the unsharded replay on "
+                    "scan-only workloads exactly and stay within the "
+                    "batch-split overhead elsewhere."
+                ),
+            )
+        )
+    return "\n".join(out)

@@ -46,6 +46,7 @@ from repro.models.registry import MEASURED_MODELS, resolve_models
 from repro.experiments.report import render_table
 from repro.serving.scheduler import SCHEDULER_NAMES
 from repro.serving.server import ServingStats
+from repro.sharding.router import SHARD_POLICIES
 from repro.storage.disk import DiskGeometry
 
 #: Default grid of the sweep experiment: the paper's buffer (1200)
@@ -77,6 +78,15 @@ DEFAULT_CLIENTS = (1,)
 DEFAULT_SCHEDULER = "fifo"
 DEFAULT_SERVING_WORKERS = 1
 
+#: Default shard axis: one shard, the single-engine path.  Same byte-
+#: parity contract as the recluster and client axes: with exactly this
+#: axis the sweep's text and JSON are byte-for-byte what they were
+#: before sharding existed; a non-default axis adds the ``shards``
+#: coordinate, a cross-shard-hop column and each cell's per-shard
+#: counter drill-down.
+DEFAULT_SHARDS = (1,)
+DEFAULT_SHARD_POLICY = "hash"
+
 #: Geometry behind the sweep's service-time estimates (the paper-era
 #: disk of :class:`~repro.storage.disk.DiskGeometry`'s defaults).  The
 #: estimate turns the two counters of Equation 1 into milliseconds, so
@@ -101,6 +111,9 @@ class SweepCell:
     #: Simulated-time throughput/latency digest of the serving run;
     #: ``None`` on the single-stream path (default client axis).
     serving: ServingStats | None = None
+    #: Shards the cell ran over (1 = the single-engine path, where the
+    #: cell's result carries no sharding report).
+    shards: int = 1
 
     @property
     def service_time_ms(self) -> float:
@@ -111,7 +124,10 @@ class SweepCell:
         return SWEEP_GEOMETRY.service_time_ms(raw.io_calls, raw.io_pages)
 
     def row(
-        self, with_recluster: bool = False, with_clients: bool = False
+        self,
+        with_recluster: bool = False,
+        with_clients: bool = False,
+        with_shards: bool = False,
     ) -> list[object]:
         """Table row: coordinates plus the per-operation metrics."""
         per_op = self.result.per_op
@@ -120,6 +136,8 @@ class SweepCell:
             coordinates.append(self.recluster)
         if with_clients:
             coordinates.append(self.clients)
+        if with_shards:
+            coordinates.append(self.shards)
         row = coordinates + [
             per_op.io_calls,
             per_op.io_pages,
@@ -134,10 +152,16 @@ class SweepCell:
                 stats.latency_p99_ms if stats else None,
                 stats.requests_per_second if stats else None,
             ]
+        if with_shards:
+            sharding = self.result.sharding
+            row.append(sharding.cross_shard_hops if sharding is not None else 0)
         return row
 
     def to_dict(
-        self, with_recluster: bool = False, with_clients: bool = False
+        self,
+        with_recluster: bool = False,
+        with_clients: bool = False,
+        with_shards: bool = False,
     ) -> dict[str, object]:
         """JSON-stable cell encoding (raw integer counters, plus the
         exact service-time estimate derived from them).
@@ -173,6 +197,12 @@ class SweepCell:
             encoded["serving"] = (
                 self.serving.to_dict() if self.serving is not None else None
             )
+        if with_shards:
+            sharding = self.result.sharding
+            encoded["shards"] = self.shards
+            encoded["sharding"] = (
+                sharding.to_dict(SWEEP_GEOMETRY) if sharding is not None else None
+            )
         return encoded
 
 
@@ -195,6 +225,10 @@ class SweepResult:
     #: Admission scheduler and worker threads of the serving cells.
     scheduler: str = DEFAULT_SCHEDULER
     serving_workers: int = DEFAULT_SERVING_WORKERS
+    #: Shard axis of the grid (byte-parity contract: the default
+    #: ``(1,)`` encodes exactly like a pre-shard sweep).
+    shards: tuple[int, ...] = DEFAULT_SHARDS
+    shard_policy: str = DEFAULT_SHARD_POLICY
 
     @property
     def reclustered(self) -> bool:
@@ -205,6 +239,11 @@ class SweepResult:
     def multi_client(self) -> bool:
         """Whether the grid carries a non-default client axis."""
         return tuple(self.clients) != DEFAULT_CLIENTS
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the grid carries a non-default shard axis."""
+        return tuple(self.shards) != DEFAULT_SHARDS
 
     def cells_for(self, workload: str) -> list[SweepCell]:
         return [cell for cell in self.cells if cell.workload == workload]
@@ -254,10 +293,18 @@ class SweepResult:
             # never move a counter, and CI proves it by byte-diffing
             # this JSON across worker counts.
             grid["serving"] = {"scheduler": self.scheduler}
+        sharded = self.sharded
+        if sharded:
+            grid["shards"] = list(self.shards)
+            grid["shard_policy"] = self.shard_policy
         payload = {
             "grid": grid,
             "cells": [
-                cell.to_dict(with_recluster=extended, with_clients=served)
+                cell.to_dict(
+                    with_recluster=extended,
+                    with_clients=served,
+                    with_shards=sharded,
+                )
                 for cell in self.cells
             ],
         }
@@ -296,6 +343,8 @@ def _run_cell_in_process(
     served: bool = False,
     scheduler: str = DEFAULT_SCHEDULER,
     serving_workers: int = DEFAULT_SERVING_WORKERS,
+    shards: int = 1,
+    shard_policy: str = DEFAULT_SHARD_POLICY,
 ) -> SweepCell:
     """One grid cell, self-contained for a worker process.
 
@@ -309,7 +358,12 @@ def _run_cell_in_process(
     retrains) per cell, as before.
     """
     cell_config = config.with_changes(
-        buffer_pages=capacity, policy=policy, jobs=1, recluster=recluster
+        buffer_pages=capacity,
+        policy=policy,
+        jobs=1,
+        recluster=recluster,
+        shards=shards,
+        shard_policy=shard_policy,
     )
     runner = BenchmarkRunner(cell_config)
     if snapshot_paths:
@@ -342,6 +396,7 @@ def _run_cell_in_process(
         recluster=recluster,
         clients=clients,
         serving=stats,
+        shards=shards,
     )
 
 
@@ -357,6 +412,8 @@ def run_sweep(
     clients: Sequence[int] = DEFAULT_CLIENTS,
     scheduler: str = DEFAULT_SCHEDULER,
     serving_workers: int = DEFAULT_SERVING_WORKERS,
+    shards: Sequence[int] = DEFAULT_SHARDS,
+    shard_policy: str = DEFAULT_SHARD_POLICY,
 ) -> SweepResult:
     """Run the full grid; every cell gets a fresh engine.
 
@@ -430,15 +487,36 @@ def run_sweep(
         )
     if serving_workers < 1:
         raise BenchmarkError("serving_workers must be at least 1")
+    shard_axis = tuple(int(n) for n in shards)
+    if not shard_axis or any(n < 1 for n in shard_axis):
+        raise BenchmarkError("the shard axis needs at least one count >= 1")
+    if len(set(shard_axis)) != len(shard_axis):
+        raise BenchmarkError(
+            f"shard counts must be unique, got {list(shard_axis)!r}"
+        )
+    if shard_policy not in SHARD_POLICIES:
+        raise BenchmarkError(
+            f"unknown shard policy {shard_policy!r} "
+            f"(known: {', '.join(SHARD_POLICIES)})"
+        )
+    if shard_axis != DEFAULT_SHARDS and recluster_names != ("none",):
+        # Same refusal BenchmarkConfig makes per cell, raised before any
+        # cell runs: rid forwarding is per-engine, so a reclustered
+        # replica set would desynchronise its shards.
+        raise BenchmarkError(
+            "a sharded sweep cannot carry a recluster axis: rid forwarding "
+            "is per-engine and would desynchronise the shard replicas"
+        )
     served = client_axis != DEFAULT_CLIENTS
     grid = [
-        (spec, capacity, policy, model, recluster, n_clients)
+        (spec, capacity, policy, model, recluster, n_clients, n_shards)
         for spec in specs
         for capacity in capacities
         for policy in policies
         for model in model_names
         for recluster in recluster_names
         for n_clients in client_axis
+        for n_shards in shard_axis
     ]
 
     if processes is not None and processes > 1 and len(grid) > 1:
@@ -503,7 +581,7 @@ def run_sweep(
                         reclustered, spill_dir, stem=f"artifact-{serial}"
                     )
                     serial += 1
-            for spec, capacity, policy, model, recluster, n_clients in grid:
+            for spec, capacity, policy, model, recluster, *_ in grid:
                 key = (
                     (model, "none", None)
                     if recluster in ("none", "online")
@@ -524,6 +602,8 @@ def run_sweep(
                         served=served,
                         scheduler=scheduler,
                         serving_workers=serving_workers,
+                        shards=point[6],
+                        shard_policy=shard_policy,
                     )
                     for point in grid
                 ]
@@ -542,6 +622,8 @@ def run_sweep(
             clients=client_axis,
             scheduler=scheduler,
             serving_workers=serving_workers,
+            shards=shard_axis,
+            shard_policy=shard_policy,
         )
 
     # Generate the extension and compile each spec's trace once; every
@@ -556,9 +638,14 @@ def run_sweep(
         model: str,
         recluster: str,
         n_clients: int,
+        n_shards: int,
     ) -> SweepCell:
         cell_config = config.with_changes(
-            buffer_pages=capacity, policy=policy, recluster=recluster
+            buffer_pages=capacity,
+            policy=policy,
+            recluster=recluster,
+            shards=n_shards,
+            shard_policy=shard_policy,
         )
         runner = BenchmarkRunner(cell_config)
         runner.adopt_extension(stations)
@@ -582,6 +669,7 @@ def run_sweep(
             recluster=recluster,
             clients=n_clients,
             serving=stats,
+            shards=n_shards,
         )
 
     if jobs is None:
@@ -603,6 +691,8 @@ def run_sweep(
         clients=client_axis,
         scheduler=scheduler,
         serving_workers=serving_workers,
+        shards=shard_axis,
+        shard_policy=shard_policy,
     )
 
 
@@ -611,17 +701,26 @@ def render_result(result: SweepResult) -> str:
     out = []
     with_recluster = result.reclustered
     with_clients = result.multi_client
+    with_shards = result.sharded
     headers = ["model", "policy", "buffer"]
     if with_recluster:
         headers.append("recluster")
     if with_clients:
         headers.append("clients")
+    if with_shards:
+        headers.append("shards")
     headers += ["calls/op", "pages/op", "hit rate", "evict/op", "svc ms/op"]
     if with_clients:
         headers += ["p50 ms", "p99 ms", "req/s"]
+    if with_shards:
+        headers.append("hops")
     for spec in result.workloads:
         rows = [
-            cell.row(with_recluster=with_recluster, with_clients=with_clients)
+            cell.row(
+                with_recluster=with_recluster,
+                with_clients=with_clients,
+                with_shards=with_shards,
+            )
             for cell in result.cells_for(spec.name)
         ]
         note = (
@@ -646,6 +745,13 @@ def render_result(result: SweepResult) -> str:
                 "simulated-time (closed loop over the Equation-1 service "
                 "times), so they reproduce byte-for-byte."
             )
+        if with_shards:
+            note += (
+                "  Sharded cells partition the OID space across N "
+                f"replica engines under the {result.shard_policy!r} "
+                "policy; 'hops' counts ownership transfers between "
+                "consecutive shard visits along the operation stream."
+            )
         out.append(
             render_table(f"Sweep — {spec.describe()}", headers, rows, note=note)
         )
@@ -664,6 +770,8 @@ def render(
     clients: Sequence[int] = DEFAULT_CLIENTS,
     scheduler: str = DEFAULT_SCHEDULER,
     serving_workers: int = DEFAULT_SERVING_WORKERS,
+    shards: Sequence[int] = DEFAULT_SHARDS,
+    shard_policy: str = DEFAULT_SHARD_POLICY,
 ) -> str:
     """CLI entry point: run the grid, optionally dump JSON, render text."""
     result = run_sweep(
@@ -677,6 +785,8 @@ def render(
         clients=clients,
         scheduler=scheduler,
         serving_workers=serving_workers,
+        shards=shards,
+        shard_policy=shard_policy,
     )
     if json_path:
         with open(json_path, "w", encoding="utf-8") as handle:

@@ -100,6 +100,16 @@ class StorageModel(ABC):
         hold references are accessed (``NAVIGATION_PARTS``).
         """
 
+    def fetch_refs_grouped(self, refs: Sequence[Ref]) -> list[list[Ref]]:
+        """Outgoing references, one list per input ref.
+
+        Same accesses (and counters) as :meth:`fetch_refs`, which is its
+        flattening; models addressing objects physically provide it so
+        the sharded facade can reassemble per-shard navigation results
+        in input order despite variable per-object arity.
+        """
+        raise self._not_supported("grouped navigation")
+
     @abstractmethod
     def fetch_roots(self, refs: Sequence[Ref]) -> list[dict[str, Any]]:
         """Root records (atomic attributes) of the given objects."""
@@ -112,6 +122,38 @@ class StorageModel(ABC):
         each model implements its own update protocol (replace whole
         tuple vs. ``change attribute``, Section 5.3).
         """
+
+    # -- sharded scatter-gather scans ----------------------------------------------
+
+    def prepare_scan_partition(self, owned, take_orphans: bool = False) -> None:
+        """Precompute this replica's share of a scatter-gather scan.
+
+        ``owned`` is a predicate over OIDs (``owner`` membership from a
+        :class:`~repro.sharding.ShardRouter`).  The model derives, from
+        its in-memory address tables alone (no I/O — this may run at
+        facade-construction time but must never pollute counters), the
+        disjoint set of scan units it owns: shared heap pages whose
+        *first* record belongs to an owned object, plus privately-owned
+        long objects of owned OIDs.  Pages holding no addressed record
+        (possible after deletes) go to the shard with ``take_orphans``
+        so the union over all shards covers exactly one full scan.
+
+        Models that need a metadata pass with I/O (plain NSM has no
+        address table) may read pages here; callers must therefore
+        invoke this outside measured intervals — the workload executor's
+        restart-and-reset discipline guarantees it.
+        """
+        raise self._not_supported("sharded scan partitioning")
+
+    def scan_partition(self) -> int:
+        """Scan only the units owned by this replica; returns the count.
+
+        The scatter half of a sharded ``scan_all``: across all replicas
+        the owned units partition the full scan, so the counts — and,
+        on each replica's own engine, the page fixes and I/O — sum to
+        exactly one unsharded :meth:`scan_all`.
+        """
+        raise self._not_supported("sharded scan partitioning")
 
     # -- reorganisation ------------------------------------------------------------
 

@@ -115,6 +115,7 @@ class DASDBSNSMModel(StorageModel):
         #: Transformation table: oid -> handles of the four tuples.
         self._table: list[tuple[TupleHandle, TupleHandle, TupleHandle, TupleHandle]] = []
         self._oid_by_key: dict[int, int] = {}
+        self._scan_part: dict[str, tuple[list[int], list]] | None = None
 
     # -- loading --------------------------------------------------------------
 
@@ -253,13 +254,77 @@ class DASDBSNSMModel(StorageModel):
             count += 1
         return count
 
+    # -- sharded scatter-gather scans ---------------------------------------------
+
+    _STORE_NAMES = ("stations", "platforms", "connections", "sightseeings")
+
+    def prepare_scan_partition(self, owned, take_orphans: bool = False) -> None:
+        """Derive owned scan units from the transformation table (no I/O).
+
+        Per store, a shared heap page belongs to the owner of its first
+        (lowest slot) record and a long tuple to its own OID, so across
+        all shards the units partition exactly one :meth:`scan_all`.
+        """
+        stores = self._stores()
+        parts: dict[str, tuple[list[int], list]] = {}
+        for index, name in enumerate(self._STORE_NAMES):
+            store = stores[name]
+            first: dict[int, tuple[int, int]] = {}
+            longs: list = []
+            for oid, entry in enumerate(self._table):
+                if entry is None:
+                    continue
+                kind, address = entry[index]
+                if kind == "heap":
+                    best = first.get(address.page_id)
+                    if best is None or address.slot < best[0]:
+                        first[address.page_id] = (address.slot, oid)
+                elif owned(oid):
+                    longs.append(address)
+            pages: list[int] = []
+            for page_id in store.heap.segment.page_ids:
+                best = first.get(page_id)
+                if best is None:
+                    if take_orphans:
+                        pages.append(page_id)
+                elif owned(best[1]):
+                    pages.append(page_id)
+            parts[name] = (pages, longs)
+        self._scan_part = parts
+
+    def scan_partition(self) -> int:
+        if self._scan_part is None:
+            raise self._not_supported("scan_partition before prepare_scan_partition")
+        stores = self._stores()
+        count = 0
+        # Same store order and per-tuple decode work as scan_all; the
+        # cross-store reassembly needs tuples owned by other shards and
+        # happens at the gather stage, so only the count is produced.
+        for name in self._STORE_NAMES:
+            store = stores[name]
+            pages, longs = self._scan_part[name]
+            for _ in store.scan_pages(pages):
+                if name == "stations":
+                    count += 1
+            for address in longs:
+                store.read_long(address)
+                if name == "stations":
+                    count += 1
+        return count
+
     def fetch_refs(self, refs: Sequence[Ref]) -> list[Ref]:
+        return [ref for group in self.fetch_refs_grouped(refs) for ref in group]
+
+    def fetch_refs_grouped(self, refs: Sequence[Ref]) -> list[list[Ref]]:
+        """Grouped navigation: the same batched read as ``fetch_refs``."""
         handles = [self._entry(oid)[2] for oid in refs]
-        out: list[Ref] = []
+        out: list[list[Ref]] = []
         for tuple_ in self.connections.read_many(handles):
+            group_refs: list[Ref] = []
             for group in tuple_.subtuples("ConnectionsOfPlatform"):
                 for item in group.subtuples("ConnectionOfPlatform"):
-                    out.append(item["OidConnection"])
+                    group_refs.append(item["OidConnection"])
+            out.append(group_refs)
         return out
 
     def fetch_roots(self, refs: Sequence[Ref]) -> list[dict[str, Any]]:

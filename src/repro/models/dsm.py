@@ -55,6 +55,7 @@ class DirectModelBase(StorageModel):
         )
         self._handles: list[tuple[str, Rid | LongObjectAddress]] = []
         self._small_threshold = SlottedPage.max_record_size(engine.page_size)
+        self._scan_part: tuple[list[int], list[int]] | None = None
 
     # -- loading ------------------------------------------------------------
 
@@ -255,10 +256,64 @@ class DirectModelBase(StorageModel):
                 count += 1
         return count
 
+    # -- sharded scatter-gather scans ------------------------------------------------
+
+    def prepare_scan_partition(self, owned, take_orphans: bool = False) -> None:
+        """Derive the owned scan units from the handle table (no I/O).
+
+        A shared heap page belongs to the owner of its first (lowest
+        slot) record; a long object belongs to its own OID — so across
+        all shards the units partition exactly one :meth:`scan_all`.
+        """
+        first_on_page: dict[int, tuple[int, int]] = {}
+        for oid, (kind, handle) in enumerate(self._handles):
+            if kind != "heap":
+                continue
+            best = first_on_page.get(handle.page_id)
+            if best is None or handle.slot < best[0]:
+                first_on_page[handle.page_id] = (handle.slot, oid)
+        pages: list[int] = []
+        for page_id in self.heap.segment.page_ids:
+            best = first_on_page.get(page_id)
+            if best is None:
+                if take_orphans:
+                    pages.append(page_id)
+            elif owned(best[1]):
+                pages.append(page_id)
+        longs = [
+            oid
+            for oid, (kind, _) in enumerate(self._handles)
+            if kind == "long" and owned(oid)
+        ]
+        self._scan_part = (pages, longs)
+
+    def scan_partition(self) -> int:
+        if self._scan_part is None:
+            raise self._not_supported("scan_partition before prepare_scan_partition")
+        pages, longs = self._scan_part
+        count = 0
+        for _, blob in self.heap.scan_pages(pages):
+            self.serializer.decode_nested(STATION_SCHEMA, blob)
+            count += 1
+        for oid in longs:
+            _, handle = self._handles[oid]
+            self._decode_sections(self.long_store.read(handle))
+            count += 1
+        return count
+
     # -- navigation -----------------------------------------------------------------
 
     def fetch_refs(self, refs: Sequence[Ref]) -> list[Ref]:
-        out: list[Ref] = []
+        return [ref for group in self.fetch_refs_grouped(refs) for ref in group]
+
+    def fetch_refs_grouped(self, refs: Sequence[Ref]) -> list[list[Ref]]:
+        """Outgoing references, one list per input ref.
+
+        Exactly the accesses of :meth:`fetch_refs` (which flattens this);
+        the grouped form lets the sharded facade stitch per-shard results
+        back into input order despite variable per-object arity.
+        """
+        out: list[list[Ref]] = []
         wanted = self._navigation_sections()
         for ref in refs:
             kind, handle = self._handle(ref)
@@ -271,9 +326,11 @@ class DirectModelBase(StorageModel):
                 sections = self.long_store.read(handle, wanted)
                 blob = sections[1] if wanted is None else sections[wanted.index(SECTION_PLATFORMS)]
                 platforms = self.serializer.decode_subtuple_list(PLATFORM_SCHEMA, blob)
+            group: list[Ref] = []
             for platform in platforms:
                 for connection in platform.subtuples("Connection"):
-                    out.append(connection["OidConnection"])
+                    group.append(connection["OidConnection"])
+            out.append(group)
         return out
 
     def fetch_roots(self, refs: Sequence[Ref]) -> list[dict[str, Any]]:

@@ -117,6 +117,16 @@ class MixedTupleStore:
                 (blob,) = self.long_store.read(address)
                 yield self.serializer.decode_nested(self.schema, blob)
 
+    def scan_pages(self, page_ids: Sequence[int]) -> Iterator[NestedTuple]:
+        """Scan only the given heap pages (sharded scatter-gather)."""
+        for _, blob in self.heap.scan_pages(list(page_ids)):
+            yield self.serializer.decode_nested(self.schema, blob)
+
+    def read_long(self, address: LongObjectAddress) -> NestedTuple:
+        """Read one long tuple, exactly as :meth:`scan` would."""
+        (blob,) = self.long_store.read(address)
+        return self.serializer.decode_nested(self.schema, blob)
+
     # -- reorganisation -----------------------------------------------------------
 
     def recluster(self, rid_order: list[Rid]) -> dict[Rid, Rid]:

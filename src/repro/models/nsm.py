@@ -89,6 +89,7 @@ class NSMModel(StorageModel):
         self.connections = engine.new_heap("NSM_Connection")
         self.sightseeings = engine.new_heap("NSM_Sightseeing")
         self._deleted_keys: set[int] = set()
+        self._scan_part: dict[str, list[int]] | None = None
 
     # -- references: logical keys -------------------------------------------
 
@@ -233,13 +234,74 @@ class NSMModel(StorageModel):
         for rid, blob in heap.scan():
             yield rid, self.serializer.decode_flat(schema, blob)
 
+    # -- sharded scatter-gather scans -----------------------------------------------
+
+    def prepare_scan_partition(self, owned, take_orphans: bool = False) -> None:
+        """Derive the owned page subsets of the four flat relations.
+
+        Plain NSM keeps no record addresses, so ownership is recovered
+        from the stored key attributes with one metadata scan per
+        relation — construction-time I/O, run outside measured
+        intervals.  A page belongs to the owner of its first record's
+        root key; across all shards the page subsets partition each
+        relation exactly.
+        """
+        heaps = self._heaps()
+        schemas = self._heap_schemas()
+        parts: dict[str, list[int]] = {}
+        for name, key_attr in self._HEAP_KEY_ATTRS:
+            heap = heaps[name]
+            schema = schemas[name]
+            first: dict[int, int] = {}
+            for rid, blob in heap.scan():
+                if rid.page_id not in first:
+                    first[rid.page_id] = oid_of_key(
+                        self.serializer.decode_atom(schema, blob, key_attr)
+                    )
+            pages: list[int] = []
+            for page_id in heap.segment.page_ids:
+                oid = first.get(page_id)
+                if oid is None:
+                    if take_orphans:
+                        pages.append(page_id)
+                elif owned(oid):
+                    pages.append(page_id)
+            parts[name] = pages
+        self._scan_part = parts
+
+    def scan_partition(self) -> int:
+        if self._scan_part is None:
+            raise self._not_supported("scan_partition before prepare_scan_partition")
+        heaps = self._heaps()
+        schemas = self._heap_schemas()
+        count = 0
+        # Same relation order and per-row decode work as scan_all; the
+        # in-memory reassembly join needs rows owned by other shards and
+        # happens at the gather stage, so only the count is produced.
+        for name, _ in self._HEAP_KEY_ATTRS:
+            for _, blob in heaps[name].scan_pages(self._scan_part[name]):
+                self.serializer.decode_flat(schemas[name], blob)
+                if name == "stations":
+                    count += 1
+        return count
+
     def fetch_refs(self, refs: Sequence[Ref]) -> list[Ref]:
         """One set-oriented scan of NSM_Connection per navigation level."""
+        return [child for _, child in self.fetch_ref_pairs(refs)]
+
+    def fetch_ref_pairs(self, refs: Sequence[Ref]) -> list[tuple[int, Ref]]:
+        """``(RootKey, KeyConnection)`` of matching rows, in heap order.
+
+        The same single scan (and counters) as :meth:`fetch_refs`, which
+        discards the root keys; the sharded facade keeps them so it can
+        merge per-shard results back into the unsharded scan order (heap
+        order groups rows by ascending root key under bulk load).
+        """
         if not refs:
             return []
         keys = set(refs)
         rows = self._select(self.connections, NSM_CONNECTION, "RootKey", keys)
-        return [row["KeyConnection"] for _, row in rows]
+        return [(row["RootKey"], row["KeyConnection"]) for _, row in rows]
 
     def fetch_roots(self, refs: Sequence[Ref]) -> list[dict[str, Any]]:
         if not refs:
@@ -485,6 +547,12 @@ class NSMIndexModel(NSMModel):
             self.serializer.decode_flat(NSM_CONNECTION, blob)["KeyConnection"]
             for blob in self.connections.read_many(rids)
         ]
+
+    def fetch_refs_grouped(self, refs: Sequence[Ref]) -> list[list[Ref]]:
+        """Grouped navigation: one batched read, split back per ref."""
+        rid_groups = [self._connection_rids.get(key, []) for key in refs]
+        children = iter(self.fetch_refs(refs))
+        return [[next(children) for _ in rids] for rids in rid_groups]
 
     def fetch_roots(self, refs: Sequence[Ref]) -> list[dict[str, Any]]:
         rids = [self._station_rid[key] for key in refs if key in self._station_rid]

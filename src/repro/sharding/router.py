@@ -1,0 +1,112 @@
+"""OID-space partitioning across shards.
+
+A :class:`ShardRouter` deterministically assigns every OID of an
+extension to one of N shards.  Two policies:
+
+* ``hash`` — seeded CRC-32 scatter.  Independent of ``PYTHONHASHSEED``
+  (never Python's ``hash``), so assignments are byte-reproducible
+  across processes and CI environments.  Spreads any hot OID block
+  evenly over all shards — the policy that *fans out* contended
+  ranges.
+* ``range`` — contiguous equal-width OID blocks (shard 0 owns the
+  lowest block).  Bulk loading stores low OIDs together, so a hot
+  low-OID block (the ticket-inventory shape) lands on few shards —
+  the policy that *colocates* contended ranges.
+
+The assignment is a pure function of ``(n_objects, n_shards, policy,
+seed)``; every consumer (the sharded model facade, tests, the shadow
+fuzzer) can recompute exactly which shard owns any OID.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from struct import pack
+from typing import Callable
+
+from repro.errors import ShardingError
+
+#: Recognised partitioning policies.
+SHARD_POLICIES = ("hash", "range")
+
+
+def split_buffer_pages(total: int, n_shards: int) -> tuple[int, ...]:
+    """Partition a buffer budget across shards, one slice per shard.
+
+    The first ``total % n_shards`` shards get the extra frame, and every
+    shard gets at least one (a buffer cannot run with zero frames), so
+    the slices sum to ``total`` whenever ``total >= n_shards``.
+    """
+    if n_shards < 1:
+        raise ShardingError("n_shards must be at least 1")
+    if total < 1:
+        raise ShardingError("buffer budget must be at least 1 page")
+    base, extra = divmod(total, n_shards)
+    return tuple(
+        max(1, base + (1 if index < extra else 0)) for index in range(n_shards)
+    )
+
+
+@dataclass(frozen=True)
+class ShardRouter:
+    """Deterministic OID → shard assignment."""
+
+    n_objects: int
+    n_shards: int
+    policy: str = "hash"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ShardingError("n_objects must be at least 1")
+        if self.n_shards < 1:
+            raise ShardingError("n_shards must be at least 1")
+        if self.policy not in SHARD_POLICIES:
+            raise ShardingError(
+                f"unknown shard policy {self.policy!r} "
+                f"(known: {', '.join(SHARD_POLICIES)})"
+            )
+
+    def shard_of(self, oid: int) -> int:
+        """The shard owning ``oid``.
+
+        Total over all integers: OIDs outside ``[0, n_objects)`` (keys
+        chosen freely through ``insert_object``) hash like any other or,
+        under ``range``, clamp into the edge shards — routing never
+        fails, the owning replica raises its usual address error.
+        """
+        if self.n_shards == 1:
+            return 0
+        if self.policy == "hash":
+            digest = zlib.crc32(
+                pack("<II", self.seed & 0xFFFFFFFF, oid & 0xFFFFFFFF)
+            )
+            return digest % self.n_shards
+        if oid < 0:
+            return 0
+        if oid >= self.n_objects:
+            return self.n_shards - 1
+        return oid * self.n_shards // self.n_objects
+
+    def owned(self, shard: int) -> Callable[[int], bool]:
+        """Membership predicate of one shard (for scan partitioning)."""
+        if not 0 <= shard < self.n_shards:
+            raise ShardingError(
+                f"shard {shard} out of range (0..{self.n_shards - 1})"
+            )
+        return lambda oid: self.shard_of(oid) == shard
+
+    def assignment(self) -> list[int]:
+        """Owning shard of every OID, in OID order."""
+        return [self.shard_of(oid) for oid in range(self.n_objects)]
+
+    def shard_sizes(self) -> list[int]:
+        """Objects per shard (sums to ``n_objects``)."""
+        sizes = [0] * self.n_shards
+        for shard in self.assignment():
+            sizes[shard] += 1
+        return sizes
+
+
+__all__ = ["ShardRouter", "SHARD_POLICIES", "split_buffer_pages"]

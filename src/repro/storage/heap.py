@@ -438,6 +438,26 @@ class HeapFile:
             for slot, record in records:
                 yield Rid(page_id, slot), record
 
+    def scan_pages(self, page_ids: list[int]) -> Iterator[tuple[Rid, bytes]]:
+        """Scan only the given pages, each fixed exactly once.
+
+        The partial sibling of :meth:`scan`, built for sharded
+        scatter-gather scans: each shard walks the disjoint page subset
+        it owns, so the union of all shards' ``scan_pages`` calls fixes
+        exactly the pages one full :meth:`scan` would — the invariant
+        behind the per-shard counter roll-up summing to the unsharded
+        totals.
+        """
+        for page_id in page_ids:
+            self._require_page(page_id)
+            page = self.buffer.fix_view(page_id)
+            try:
+                records = page.records()
+            finally:
+                self.buffer.unfix(page_id)
+            for slot, record in records:
+                yield Rid(page_id, slot), record
+
     def scan_filter(self, predicate: Callable[[bytes], bool]) -> list[tuple[Rid, bytes]]:
         """Full scan returning only records matching ``predicate``."""
         return [(rid, record) for rid, record in self.scan() if predicate(record)]

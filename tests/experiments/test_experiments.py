@@ -159,6 +159,7 @@ class TestCLI:
             "clustering",
             "drift",
             "sweep",
+            "sharding",
             "perf",
         }
 

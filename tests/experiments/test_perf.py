@@ -18,6 +18,7 @@ BENCH_NAMES = {
     "buffer_churn",
     "read_many_zero_copy",
     "sweep_cell",
+    "sharded_sweep",
     "sweep_cell_snapshot",
     "backend_io_wallclock",
     "serving_closed_loop",

@@ -1,0 +1,135 @@
+"""Shared helpers of the shard-parity layer: builders, digests, seeds.
+
+Fuzz seeding follows the repo convention (see ``tests/fuzz/conftest.py``):
+the fixed default set always runs, ``REPRO_FUZZ_SEEDS=7,8,9`` extends it
+without a code change, and a failure names its seed in the test id, e.g.::
+
+    PYTHONPATH=src python -m pytest "tests/sharding/test_shard_fuzz.py::test_random_partitions_match_shadow[hash-93]"
+
+The builders construct facades *directly* (engine + model + router per
+shard) rather than through :class:`~repro.benchmark.runner.BenchmarkRunner`,
+because the runner deliberately routes ``shards=1`` down the plain
+single-engine path — the byte-parity contract — while the parity suite
+needs a real 1-shard facade to prove that contract holds at the model
+layer too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.generator import generate_stations
+from repro.models.registry import MODEL_CLASSES, create_model
+from repro.sharding import (
+    ShardRouter,
+    ShardedEngine,
+    ShardedModel,
+    split_buffer_pages,
+)
+from repro.storage import StorageEngine
+
+import pytest
+
+#: Seeds every run exercises.  Fixed: the suite must behave identically
+#: on every machine.
+DEFAULT_SEEDS = (1, 7, 93, 1993, 20260)
+
+#: All five storage models, the full parity matrix.
+MODEL_NAMES = tuple(sorted(MODEL_CLASSES))
+
+#: The parity suite's extension: small enough for a fast matrix, big
+#: enough that every model spans many pages and scans miss the buffer.
+PARITY_CONFIG = BenchmarkConfig(n_objects=48, buffer_pages=32, seed=7)
+
+
+def fuzz_seeds() -> list[int]:
+    """Default seeds plus any supplied via ``REPRO_FUZZ_SEEDS``."""
+    extra = [
+        int(token)
+        for token in os.environ.get("REPRO_FUZZ_SEEDS", "").split(",")
+        if token.strip()
+    ]
+    return list(DEFAULT_SEEDS) + extra
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize every test that asks for ``fuzz_seed`` (seed in id)."""
+    if "fuzz_seed" in metafunc.fixturenames:
+        metafunc.parametrize("fuzz_seed", fuzz_seeds())
+
+
+@pytest.fixture(scope="session")
+def parity_stations():
+    """The parity extension, generated once for the whole layer."""
+    return generate_stations(PARITY_CONFIG)
+
+
+def build_plain(config: BenchmarkConfig, stations, model_name: str):
+    """An unsharded loaded model — the shadow every facade is held to."""
+    engine = StorageEngine(
+        page_size=config.page_size,
+        buffer_pages=config.buffer_pages,
+        policy=config.policy,
+    )
+    model = create_model(model_name, engine)
+    model.load(stations)
+    return model
+
+
+def build_sharded(
+    config: BenchmarkConfig,
+    stations,
+    model_name: str,
+    n_shards: int,
+    policy: str,
+) -> ShardedModel:
+    """An N-shard facade over full replicas of ``stations``.
+
+    Mirrors ``BenchmarkRunner._build_sharded`` without the snapshot
+    store: every replica bulk-loads the same extension, so replica
+    layouts are byte-identical to the plain build.
+    """
+    router = ShardRouter(
+        n_objects=config.n_objects,
+        n_shards=n_shards,
+        policy=policy,
+        seed=config.seed,
+    )
+    buffers = split_buffer_pages(config.buffer_pages, n_shards)
+    replicas = []
+    for index in range(n_shards):
+        engine = StorageEngine(
+            page_size=config.page_size,
+            buffer_pages=buffers[index],
+            policy=config.policy,
+        )
+        replica = create_model(model_name, engine)
+        replica.load(stations)
+        replicas.append(replica)
+    engine = ShardedEngine(tuple(replica.engine for replica in replicas))
+    return ShardedModel(replicas, engine, router)
+
+
+def disk_digest(engine: StorageEngine) -> str:
+    """SHA-256 over the engine's flushed on-disk page image."""
+    engine.flush()
+    digest = hashlib.sha256()
+    for page in engine.disk.snapshot().image:
+        digest.update(b"\x00" if page is None else b"\x01" + page)
+    return digest.hexdigest()
+
+
+def counters(raw) -> dict[str, int]:
+    """A counter snapshot as a plain comparable dict."""
+    return {
+        "read_calls": raw.read_calls,
+        "write_calls": raw.write_calls,
+        "pages_read": raw.pages_read,
+        "pages_written": raw.pages_written,
+        "page_fixes": raw.page_fixes,
+        "buffer_hits": raw.buffer_hits,
+        "buffer_misses": raw.buffer_misses,
+        "evictions": raw.evictions,
+    }

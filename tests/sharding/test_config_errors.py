@@ -1,0 +1,61 @@
+"""Typed refusals: incompatible knob combinations raise ``ConfigError``.
+
+Regression layer for the refusal paths: they must raise the *typed*
+:class:`~repro.errors.ConfigError` (a :class:`BenchmarkError`), not a
+bare string error from whichever subsystem noticed first, so the CLI
+and the sweeps can rely on one exception family for bad configurations.
+"""
+
+import pytest
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.errors import BenchmarkError, ConfigError
+
+
+def test_io_scheduler_with_faults_raises_config_error():
+    # The historical refusal, retyped: it used to surface as a plain
+    # BenchmarkError; callers now get the ConfigError subtype.
+    with pytest.raises(ConfigError, match="io.scheduler|scheduler"):
+        BenchmarkConfig(io_scheduler=True, faults="torn=1")
+
+
+def test_shards_with_faults_raises_config_error():
+    with pytest.raises(ConfigError, match="fault"):
+        BenchmarkConfig(shards=2, faults="torn=1")
+
+
+def test_shards_with_recluster_raises_config_error():
+    with pytest.raises(ConfigError, match="recluster"):
+        BenchmarkConfig(shards=2, recluster="affinity")
+
+
+def test_shards_with_trace_backend_raises_config_error():
+    with pytest.raises(ConfigError, match="trace"):
+        BenchmarkConfig(shards=2, backend="trace")
+
+
+def test_bad_shard_policy_raises_config_error():
+    with pytest.raises(ConfigError, match="policy"):
+        BenchmarkConfig(shards=2, shard_policy="round-robin")
+
+
+def test_non_positive_shards_raises_config_error():
+    with pytest.raises(ConfigError):
+        BenchmarkConfig(shards=0)
+    with pytest.raises(ConfigError):
+        BenchmarkConfig(shards=-1)
+
+
+def test_config_error_is_a_benchmark_error():
+    # Existing except-BenchmarkError callers keep catching refusals.
+    assert issubclass(ConfigError, BenchmarkError)
+    with pytest.raises(BenchmarkError):
+        BenchmarkConfig(shards=2, faults="torn=1")
+
+
+def test_valid_sharded_configs_are_accepted():
+    config = BenchmarkConfig(shards=4, shard_policy="range")
+    assert config.shards == 4 and config.shard_policy == "range"
+    assert BenchmarkConfig(shards=1).shard_policy == "hash"
+    # shards=1 composes with everything: it is the plain engine path.
+    assert BenchmarkConfig(shards=1, faults="torn=1").shards == 1

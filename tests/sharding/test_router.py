@@ -1,0 +1,82 @@
+"""Router unit tests: determinism, contiguity, clamping, budgets."""
+
+import pytest
+
+from repro.errors import ShardingError
+from repro.sharding import SHARD_POLICIES, ShardRouter, split_buffer_pages
+
+
+def test_assignment_is_a_pure_function_of_its_arguments():
+    a = ShardRouter(n_objects=200, n_shards=5, policy="hash", seed=7)
+    b = ShardRouter(n_objects=200, n_shards=5, policy="hash", seed=7)
+    assert a.assignment() == b.assignment()
+    # A different seed reshuffles the hash scatter.  (5 shards, not a
+    # power of two: CRC-32 is GF(2)-linear, so two seeds differ by a
+    # constant XOR and can agree in the low bits a power-of-two modulus
+    # looks at.)
+    c = ShardRouter(n_objects=200, n_shards=5, policy="hash", seed=8)
+    assert a.assignment() != c.assignment()
+
+
+def test_hash_assignment_is_pythonhashseed_immune():
+    # CRC-32, never Python's hash(): the exact assignment is pinned so
+    # any switch to an interpreter-salted hash trips this immediately.
+    router = ShardRouter(n_objects=12, n_shards=3, policy="hash", seed=7)
+    assert router.assignment() == [2, 0, 2, 0, 2, 0, 1, 0, 0, 0, 2, 2]
+
+
+def test_range_assignment_is_contiguous_and_balanced():
+    router = ShardRouter(n_objects=103, n_shards=4, policy="range")
+    assignment = router.assignment()
+    assert assignment == sorted(assignment)  # contiguous bands
+    sizes = router.shard_sizes()
+    assert sum(sizes) == 103
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_range_clamps_out_of_extension_oids_into_edge_shards():
+    router = ShardRouter(n_objects=100, n_shards=4, policy="range")
+    assert router.shard_of(-5) == 0
+    assert router.shard_of(100) == 3
+    assert router.shard_of(10**9) == 3
+
+
+@pytest.mark.parametrize("policy", SHARD_POLICIES)
+def test_sizes_sum_and_owned_predicate_agree_with_shard_of(policy):
+    router = ShardRouter(n_objects=60, n_shards=5, policy=policy, seed=3)
+    assert sum(router.shard_sizes()) == 60
+    predicates = [router.owned(shard) for shard in range(5)]
+    for oid in range(60):
+        owner = router.shard_of(oid)
+        for shard, owned in enumerate(predicates):
+            assert owned(oid) == (shard == owner)
+
+
+def test_single_shard_owns_everything():
+    router = ShardRouter(n_objects=10, n_shards=1, policy="hash", seed=9)
+    assert router.shard_sizes() == [10]
+    assert all(router.shard_of(oid) == 0 for oid in range(-3, 20))
+
+
+def test_router_rejects_bad_arguments():
+    with pytest.raises(ShardingError):
+        ShardRouter(n_objects=0, n_shards=1)
+    with pytest.raises(ShardingError):
+        ShardRouter(n_objects=10, n_shards=0)
+    with pytest.raises(ShardingError):
+        ShardRouter(n_objects=10, n_shards=2, policy="round-robin")
+    router = ShardRouter(n_objects=10, n_shards=2)
+    with pytest.raises(ShardingError):
+        router.owned(2)
+
+
+def test_split_buffer_pages_partitions_the_budget():
+    assert split_buffer_pages(10, 3) == (4, 3, 3)
+    assert split_buffer_pages(8, 4) == (2, 2, 2, 2)
+    assert sum(split_buffer_pages(1200, 7)) == 1200
+    # Every shard gets at least one frame even under tiny budgets.
+    assert split_buffer_pages(2, 4) == (1, 1, 1, 1)
+    with pytest.raises(ShardingError):
+        split_buffer_pages(0, 2)
+    with pytest.raises(ShardingError):
+        split_buffer_pages(10, 0)

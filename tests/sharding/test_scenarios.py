@@ -1,0 +1,154 @@
+"""Scenario-preset tests: determinism, goldens, state machine, contention.
+
+The application scenarios compile deterministic simulations into plain
+operation traces; these tests pin the compiled bytes (golden digests),
+the hold state machine's expiry semantics at the ``hold_ops`` boundary,
+and the contention shape (the hot block absorbs the traffic) that the
+sharding experiment's hash-vs-range contrast rests on.
+"""
+
+import hashlib
+from collections import Counter
+
+import pytest
+
+from repro.benchmark.scenarios import (
+    AVAILABLE,
+    HELD,
+    SOLD,
+    TicketMachine,
+    compile_ticket_trace,
+    hot_block,
+)
+from repro.benchmark.workload import (
+    PRESET_WORKLOADS,
+    WorkloadSpec,
+    compile_trace,
+)
+from repro.errors import BenchmarkError
+
+N_OBJECTS = 40
+N_OPS = 150
+
+#: SHA-256 over the compiled ``(kind, oid)`` stream of each preset at
+#: the scale above.  A drifting digest means the simulation — and with
+#: it every committed scenario artifact — changed behaviour.
+GOLDEN_TRACE_SHA = {
+    "ticket-inventory": (
+        "74ae788a49d19d4b5d245e774e87d55bdabadeacc490f2a7431b89ea6f25269b"
+    ),
+    "activity-stream": (
+        "4c95acaf558a7f18c3a1bc3354382320ee28f643e1d696bec703e407ecb96f29"
+    ),
+}
+
+
+def _scenario_trace(name: str):
+    spec = PRESET_WORKLOADS[name].with_changes(n_ops=N_OPS)
+    return compile_trace(spec, N_OBJECTS)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_TRACE_SHA))
+def test_scenario_traces_are_deterministic_and_pinned(name):
+    first, second = _scenario_trace(name), _scenario_trace(name)
+    assert first.ops == second.ops
+    blob = repr([(op.kind, op.oid) for op in first.ops]).encode()
+    assert hashlib.sha256(blob).hexdigest() == GOLDEN_TRACE_SHA[name]
+    assert len(first.ops) == N_OPS
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_TRACE_SHA))
+def test_scenario_hot_block_absorbs_the_traffic(name):
+    """The contended-hot-record shape: the low-OID block sees the large
+    majority of addressed operations (what 'range' colocates)."""
+    trace = _scenario_trace(name)
+    spec = trace.spec
+    start, size = hot_block(spec, N_OBJECTS)
+    assert start == 0 and 1 <= size <= N_OBJECTS
+    addressed = [op.oid for op in trace.ops if op.oid is not None]
+    hot = sum(1 for oid in addressed if start <= oid < start + size)
+    assert hot / len(addressed) >= 0.8
+
+
+def test_ticket_holds_expire_exactly_at_the_hold_ops_boundary():
+    machine = TicketMachine(n_records=1, hold_ops=5)
+    machine.act(10, 0, 0.99)  # AVAILABLE --hold--> HELD at index 10
+    assert machine.states[0] == HELD
+    # One operation before the boundary nothing lapses...
+    assert machine.expire_holds(14) == []
+    assert machine.states[0] == HELD
+    # ...and at index 10 + hold_ops the hold returns to the pool.
+    assert machine.expire_holds(15) == [0]
+    assert machine.states[0] == AVAILABLE
+    causes = [t.cause for t in machine.transitions]
+    assert causes == ["hold", "expire"]
+
+
+def test_ticket_machine_walks_hold_buy_and_restocks_when_sold_out():
+    machine = TicketMachine(n_records=2, hold_ops=100)
+    machine.act(0, 0, 0.99)  # hold record 0
+    machine.act(1, 0, 0.10)  # buy it
+    assert machine.states[0] == SOLD
+    machine.act(2, 1, 0.99)  # hold record 1
+    machine.act(3, 1, 0.60)  # release it back
+    assert machine.states[1] == AVAILABLE
+    machine.act(4, 1, 0.99)  # hold again
+    machine.act(5, 1, 0.10)  # buy: everything sold
+    kind = machine.act(6, 0, 0.5)  # sold-out inventory restocks
+    assert kind == "update"
+    assert machine.states == [AVAILABLE, AVAILABLE]
+    assert [t.cause for t in machine.transitions] == [
+        "hold", "buy", "hold", "release", "hold", "buy", "restock", "restock",
+    ]
+
+
+def test_ticket_trace_charges_expiry_updates():
+    spec = PRESET_WORKLOADS["ticket-inventory"].with_changes(
+        n_ops=N_OPS, hold_ops=3
+    )
+    ops, transitions = compile_ticket_trace(spec, N_OBJECTS)
+    assert len(ops) == N_OPS
+    expiries = [t for t in transitions if t.cause == "expire"]
+    assert expiries, "a 3-op hold window must lapse some holds"
+    for t in expiries:
+        assert t.source == HELD and t.target == AVAILABLE
+    # Every state write costs an update in the compiled stream.
+    kinds = Counter(op.kind for op in ops)
+    assert kinds["update"] > 0 and kinds["point"] > 0
+
+
+def test_scenario_records_overrides_the_hot_block_size():
+    spec = WorkloadSpec(scenario="ticket-inventory", scenario_records=5)
+    assert hot_block(spec, N_OBJECTS) == (0, 5)
+    # Default: a tenth of the extension, floored at one.
+    assert hot_block(WorkloadSpec(scenario="ticket-inventory"), N_OBJECTS) == (0, 4)
+    assert hot_block(WorkloadSpec(scenario="ticket-inventory"), 5) == (0, 1)
+
+
+def test_scenario_spec_validation():
+    with pytest.raises(BenchmarkError):
+        WorkloadSpec(scenario="flash-sale")
+    with pytest.raises(BenchmarkError):
+        WorkloadSpec(scenario="ticket-inventory", hold_ops=0)
+    with pytest.raises(BenchmarkError):
+        WorkloadSpec(scenario="ticket-inventory", scenario_records=-1)
+    with pytest.raises(BenchmarkError):
+        # Scenario simulations own their access pattern; the drift axis
+        # would silently not apply.
+        WorkloadSpec(scenario="ticket-inventory", drift="step")
+    spec = PRESET_WORKLOADS["ticket-inventory"]
+    assert "scenario ticket-inventory" in spec.describe()
+    # Conditional emission: non-scenario specs describe exactly as before.
+    assert "scenario" not in WorkloadSpec().describe()
+
+
+def test_scenario_runs_end_to_end_on_a_model():
+    from repro.benchmark.runner import BenchmarkRunner
+    from tests.sharding.conftest import PARITY_CONFIG
+
+    spec = PRESET_WORKLOADS["activity-stream"].with_changes(n_ops=40)
+    runner = BenchmarkRunner(PARITY_CONFIG)
+    trace = compile_trace(spec, PARITY_CONFIG.n_objects)
+    result = runner.run_trace("DSM", trace)
+    assert result.n_ops == 40
+    assert result.raw.page_fixes > 0

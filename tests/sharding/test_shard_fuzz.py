@@ -1,0 +1,153 @@
+"""Seeded cross-shard fuzz: random partitions vs an unsharded shadow.
+
+Each seed draws a random shard count and replays a random operation
+sequence twice — once through the sharded facade, once on a plain
+shadow model — asserting three invariants:
+
+* **result identity** — every fetch, navigation batch and scan returns
+  exactly the shadow's data, whatever the partition;
+* **exact roll-up** — the per-shard counters always sum to the
+  facade's aggregate (the roll-up loses nothing);
+* **exact work on routed operations** — scans and single-object
+  operations run the same page accesses as the shadow, so the summed
+  counters match the shadow's *exactly*.  Batched navigation is the
+  one operation scatter-gather genuinely splits (one batch per owner
+  group), so the fuzzer checks navigation for result identity and the
+  ``>=`` fix bound, not counter equality.
+
+Seeds follow the layer convention: ``REPRO_FUZZ_SEEDS=...`` extends the
+default set, and the failing seed is in the test id.
+"""
+
+import random
+
+import pytest
+
+from tests.sharding.conftest import (
+    MODEL_NAMES,
+    PARITY_CONFIG,
+    build_plain,
+    build_sharded,
+    counters,
+)
+
+
+def _rolled_up(facade):
+    per_shard = facade.engine.shard_snapshots()
+    total = per_shard[0]
+    for snapshot in per_shard[1:]:
+        total = total + snapshot
+    return counters(total)
+
+
+@pytest.mark.parametrize("policy", ("hash", "range"))
+def test_random_partitions_match_shadow(parity_stations, policy, fuzz_seed):
+    rng = random.Random(fuzz_seed)
+    n_objects = PARITY_CONFIG.n_objects
+    n_shards = rng.choice((2, 3, 4, 5, 8))
+    model_name = rng.choice(MODEL_NAMES)
+    plain = build_plain(PARITY_CONFIG, parity_stations, model_name)
+    facade = build_sharded(
+        PARITY_CONFIG, parity_stations, model_name, n_shards, policy
+    )
+    oid_access = plain.supports_oid_access
+    try:
+        for _ in range(30):
+            kind = rng.choice(("scan", "roots", "navigate", "update", "point"))
+            if kind == "scan":
+                assert facade.scan_all() == plain.scan_all()
+            elif kind == "roots":
+                oids = [
+                    rng.randrange(n_objects)
+                    for _ in range(rng.randrange(1, 7))
+                ]
+                refs = [plain.ref_of(oid) for oid in oids]
+                assert facade.fetch_roots(refs) == plain.fetch_roots(refs)
+            elif kind == "navigate":
+                oids = [
+                    rng.randrange(n_objects)
+                    for _ in range(rng.randrange(1, 5))
+                ]
+                refs = [plain.ref_of(oid) for oid in oids]
+                children = plain.fetch_refs(refs)
+                assert facade.fetch_refs(refs) == children
+                if children:
+                    sample = rng.sample(
+                        children, k=rng.randrange(1, len(children) + 1)
+                    )
+                    assert facade.fetch_refs(sample) == plain.fetch_refs(sample)
+            elif kind == "update":
+                ref = plain.ref_of(rng.randrange(n_objects))
+                changes = {"Name": f"fuzz-{rng.randrange(10**6)}"}
+                plain.update_roots([ref], changes)
+                facade.update_roots([ref], changes)
+                assert facade.fetch_roots([ref]) == plain.fetch_roots([ref])
+            else:  # point
+                oid = rng.randrange(n_objects)
+                if oid_access:
+                    ref = plain.ref_of(oid)
+                    assert facade.fetch_full(ref) == plain.fetch_full(ref)
+                else:
+                    from repro.benchmark.schema import key_of_oid
+
+                    key = key_of_oid(oid)
+                    assert facade.fetch_full_by_key(key) == plain.fetch_full_by_key(key)
+        # The live roll-up is exactly the sum of its parts.
+        assert _rolled_up(facade) == counters(facade.engine.metrics.snapshot())
+        # Replicas ran the canonical layout: they can split batches
+        # (extra per-group work) but never skip a page the shadow read.
+        assert (
+            facade.engine.metrics.page_fixes
+            >= plain.engine.metrics.page_fixes
+        )
+    finally:
+        plain.engine.close()
+        facade.engine.close()
+
+
+@pytest.mark.parametrize("policy", ("hash", "range"))
+def test_cold_routed_operations_sum_exactly_to_shadow(
+    parity_stations, policy, fuzz_seed
+):
+    """Cold scans and single-object operations never split batches, so
+    the per-shard counters sum *exactly* to the shadow's totals."""
+    rng = random.Random(fuzz_seed * 31 + 5)
+    n_objects = PARITY_CONFIG.n_objects
+    n_shards = rng.choice((2, 4, 6))
+    model_name = rng.choice(MODEL_NAMES)
+    plain = build_plain(PARITY_CONFIG, parity_stations, model_name)
+    facade = build_sharded(
+        PARITY_CONFIG, parity_stations, model_name, n_shards, policy
+    )
+    oid_access = plain.supports_oid_access
+    try:
+        ops = []
+        for _ in range(12):
+            kind = rng.choice(("scan", "point", "update"))
+            ops.append((kind, rng.randrange(n_objects), f"fuzz-{rng.randrange(10**6)}"))
+        for model in (plain, facade):
+            model.engine.restart_buffer()
+            model.engine.reset_metrics()
+            for kind, oid, token in ops:
+                # Cold per operation: buffer state never couples the
+                # facade's per-shard pools to the shadow's single pool.
+                model.engine.restart_buffer()
+                if kind == "scan":
+                    model.scan_all()
+                elif kind == "point":
+                    if oid_access:
+                        model.fetch_full(model.ref_of(oid))
+                    else:
+                        from repro.benchmark.schema import key_of_oid
+
+                        model.fetch_full_by_key(key_of_oid(oid))
+                else:
+                    model.update_roots([model.ref_of(oid)], {"Name": token})
+            model.engine.flush()
+        shadow = counters(plain.engine.metrics.snapshot())
+        rolled = _rolled_up(facade)
+        assert rolled == counters(facade.engine.metrics.snapshot())
+        assert rolled == shadow
+    finally:
+        plain.engine.close()
+        facade.engine.close()
